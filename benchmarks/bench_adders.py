@@ -1,0 +1,91 @@
+"""E1 -- the adder family (paper sections 3.2 and 10, Fig. Adder).
+
+Reproduces: half adder / full adder truth tables, the fixed-width
+rippleCarry4 vs. the parameterized rippleCarry(n) equivalence, the layout
+row figure, and elaboration/simulation scaling over the width sweep.
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro.stdlib import programs
+
+from zeus_bench_utils import compile_cached
+
+
+def simulate_adder(circuit, trials, seed=0):
+    width = len(circuit.netlist.port("a").nets)
+    sim = circuit.simulator()
+    rng = random.Random(seed)
+    checked = 0
+    for _ in range(trials):
+        a = rng.randrange(1 << width)
+        b = rng.randrange(1 << width)
+        cin = rng.randrange(2)
+        sim.poke("a", a); sim.poke("b", b); sim.poke("cin", cin)
+        sim.step()
+        got = sim.peek_int("s") + (int(sim.peek_bit("cout")) << width)
+        assert got == a + b + cin
+        checked += 1
+    return checked
+
+
+class TestFullAdderExhaustive:
+    def test_truth_table(self):
+        circuit = compile_cached(programs.ADDERS, top="adder4")
+        sim = circuit.simulator()
+        for a in range(16):
+            for b in range(16):
+                for cin in (0, 1):
+                    sim.poke("a", a); sim.poke("b", b); sim.poke("cin", cin)
+                    sim.step()
+                    got = sim.peek_int("s") + 16 * int(sim.peek_bit("cout"))
+                    assert got == a + b + cin
+
+
+def test_fixed_equals_parameterized():
+    """rippleCarry4 'is equivalent to' rippleCarry(4) (the paper's words)."""
+    c4 = compile_cached(programs.ADDERS, top="adder4")
+    cn = compile_cached(programs.ADDERS, top="adder")
+    s4 = c4.simulator()
+    sn = cn.simulator()
+    for a in range(0, 16, 3):
+        for b in range(0, 16, 5):
+            for sim in (s4, sn):
+                sim.poke("a", a); sim.poke("b", b); sim.poke("cin", 1)
+                sim.step()
+            assert s4.peek_int("s") == sn.peek_int("s")
+            assert str(s4.peek_bit("cout")) == str(sn.peek_bit("cout"))
+
+
+def test_layout_row_figure():
+    """Fig. Adder: the four full adders in a left-to-right row."""
+    plan = compile_cached(programs.ADDERS, top="adder").layout()
+    assert plan.width == 4
+    columns = sorted({r.x for name, r in plan.iter_cells() if "add[" in name})
+    assert columns == [0, 1, 2, 3]  # one full adder per column
+
+
+@pytest.mark.parametrize("width", [4, 8, 16, 32])
+def test_bench_simulation_scaling(benchmark, width):
+    circuit = compile_cached(programs.ripple_carry(width), top="adder")
+    benchmark.extra_info["width"] = width
+    benchmark.extra_info["nets"] = circuit.stats()["nets"]
+    checked = benchmark(simulate_adder, circuit, 20)
+    assert checked == 20
+
+
+@pytest.mark.parametrize("width", [4, 16, 64])
+def test_bench_elaboration_scaling(benchmark, width):
+    text = programs.ripple_carry(width)
+
+    def compile_fresh():
+        return repro.compile_text(text, top="adder")
+
+    circuit = benchmark(compile_fresh)
+    benchmark.extra_info["width"] = width
+    benchmark.extra_info["gates"] = circuit.stats()["gates"]
+    # 5 gates per full adder: shape of the elaborated netlist.
+    assert circuit.stats()["gates"] == 5 * width

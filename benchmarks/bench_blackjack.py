@@ -1,0 +1,96 @@
+"""E2 -- the Blackjack finite state machine (paper section 10).
+
+Reproduces the FSM behaviour over dealt games and measures cycles/sec of
+the synchronous machine.
+"""
+
+import random
+
+import pytest
+
+from repro.stdlib import programs
+
+from zeus_bench_utils import compile_cached
+
+
+def play(sim, cards, max_cycles=300):
+    sim.reset_state()
+    sim.poke("RSET", 1); sim.poke("ycard", 0); sim.poke("value", 0)
+    sim.step()
+    sim.poke("RSET", 0)
+    cards = list(cards)
+    for _ in range(max_cycles):
+        sim.poke("ycard", 0)
+        sim.evaluate()
+        if str(sim.peek_bit("stand")) == "1":
+            return "stand", sim.peek_int("bj.score.out")
+        if str(sim.peek_bit("broke")) == "1":
+            return "broke", sim.peek_int("bj.score.out")
+        if str(sim.peek_bit("hit")) == "1" and cards:
+            sim.poke("ycard", 1)
+            sim.poke("value", cards.pop(0))
+        sim.step()
+    return "timeout", None
+
+
+def model(cards):
+    cards = list(cards)
+    score, ace = 0, False
+    while cards:
+        card = cards.pop(0)
+        score += card
+        if card == 1 and not ace:
+            score += 10
+            ace = True
+        while True:
+            if score < 17:
+                break
+            if score < 22:
+                return "stand", score
+            if ace:
+                score -= 10
+                ace = False
+                continue
+            return "broke", score
+    return "timeout", None
+
+
+def play_deck(sim, seed, games):
+    rng = random.Random(seed)
+    outcomes = {"stand": 0, "broke": 0}
+    for _ in range(games):
+        cards = [min(rng.randint(1, 13), 10) for _ in range(12)]
+        outcome, score = play(sim, cards)
+        assert (outcome, score) == model(cards)
+        outcomes[outcome] += 1
+    return outcomes
+
+
+def test_outcomes_match_model_extensively():
+    circuit = compile_cached(programs.BLACKJACK)
+    sim = circuit.simulator()
+    outcomes = play_deck(sim, seed=3, games=40)
+    assert outcomes["stand"] + outcomes["broke"] == 40
+    assert outcomes["stand"] > 0 and outcomes["broke"] > 0
+
+
+def test_bench_games_per_second(benchmark):
+    circuit = compile_cached(programs.BLACKJACK)
+    sim = circuit.simulator()
+    outcomes = benchmark(play_deck, sim, 11, 5)
+    benchmark.extra_info["netlist"] = circuit.stats()
+    assert sum(outcomes.values()) == 5
+
+
+def test_bench_raw_cycles(benchmark):
+    circuit = compile_cached(programs.BLACKJACK)
+    sim = circuit.simulator()
+    sim.poke("RSET", 1); sim.poke("ycard", 0); sim.poke("value", 0)
+    sim.step()
+    sim.poke("RSET", 0)
+
+    def run():
+        sim.step(50)
+        return sim.cycle
+
+    benchmark(run)

@@ -1,0 +1,216 @@
+"""E11 -- the abstract's other language test cases: AM2901, dictionary
+machine, systolic stack.
+
+Reproduces: functional behaviour of each circuit and cycle-throughput
+measurements (these are the 'variety of examples' the language was
+"tested on").
+"""
+
+import random
+
+import pytest
+
+from repro.stdlib import extras
+
+from zeus_bench_utils import compile_cached
+
+
+def stack_workout(circuit, ops, seed=0):
+    sim = circuit.simulator()
+    sim.poke("RSET", 1)
+    for k in ("push", "pop", "din"):
+        sim.poke(k, 0)
+    sim.step()
+    sim.poke("RSET", 0)
+    rng = random.Random(seed)
+    model = []
+    for _ in range(ops):
+        if model and rng.random() < 0.45:
+            sim.poke("push", 0); sim.poke("pop", 0)
+            sim.evaluate()
+            assert sim.peek_int("top") == model[-1]
+            sim.poke("pop", 1); sim.step(); sim.poke("pop", 0)
+            model.pop()
+        elif len(model) < 8:
+            v = rng.randrange(16)
+            sim.poke("pop", 0); sim.poke("push", 1); sim.poke("din", v)
+            sim.step(); sim.poke("push", 0)
+            model.append(v)
+    return len(model)
+
+
+def test_stack_against_model():
+    circuit = compile_cached(extras.SYSTOLIC_STACK)
+    stack_workout(circuit, 60)
+
+
+def test_bench_stack(benchmark):
+    circuit = compile_cached(extras.SYSTOLIC_STACK)
+    benchmark(stack_workout, circuit, 25)
+    benchmark.extra_info["netlist"] = circuit.stats()
+
+
+def alu_program(circuit, steps, seed=0):
+    """A register-file workout: load, arithmetic, accumulate via Q."""
+    sim = circuit.simulator()
+    rng = random.Random(seed)
+    regs = [0] * 16
+
+    def op(src, func, dest, d=0, a=0, b=0):
+        sim.poke("d", d); sim.poke("aaddr", a); sim.poke("baddr", b)
+        sim.poke("src", src); sim.poke("func", func); sim.poke("dest", dest)
+        sim.step()
+        return sim.peek_int("y")
+
+    for r in range(8):
+        value = rng.randrange(16)
+        op(7, 0, 2, d=value, b=r)  # DZ / ADD / RAM[B] := D
+        regs[r] = value
+    checked = 0
+    for _ in range(steps):
+        a, b = rng.randrange(8), rng.randrange(8)
+        y = op(1, 0, 0, a=a, b=b)  # AB / ADD / none
+        assert y == (regs[a] + regs[b]) & 15
+        checked += 1
+    return checked
+
+
+def test_alu_register_file_program():
+    circuit = compile_cached(extras.AM2901)
+    assert alu_program(circuit, 20) == 20
+
+
+def test_bench_am2901(benchmark):
+    circuit = compile_cached(extras.AM2901)
+    checked = benchmark(alu_program, circuit, 10)
+    benchmark.extra_info["netlist"] = circuit.stats()
+    assert checked == 10
+
+
+def dictionary_workout(circuit, queries, seed=0):
+    sim = circuit.simulator()
+    sim.poke("RSET", 1)
+    for k in ("load", "del", "slot", "key", "query"):
+        sim.poke(k, 0)
+    sim.step()
+    sim.poke("RSET", 0)
+    rng = random.Random(seed)
+    stored = {}
+    for slot in range(8):
+        key = rng.randrange(64)
+        sim.poke("load", 1); sim.poke("slot", slot); sim.poke("key", key)
+        sim.step()
+        stored[slot] = key
+    sim.poke("load", 0)
+    hits = 0
+    for _ in range(queries):
+        key = rng.randrange(64)
+        sim.poke("query", key)
+        sim.step(5)
+        got = str(sim.peek_bit("member")) == "1"
+        assert got == (key in stored.values())
+        hits += got
+    return hits
+
+
+def test_dictionary_against_model():
+    circuit = compile_cached(extras.DICTIONARY)
+    dictionary_workout(circuit, 30)
+
+
+def test_bench_dictionary(benchmark):
+    circuit = compile_cached(extras.DICTIONARY)
+    benchmark(dictionary_workout, circuit, 10)
+    benchmark.extra_info["netlist"] = circuit.stats()
+
+
+def sort_batch(circuit, batches, seed=0):
+    rng = random.Random(seed)
+    sim = circuit.simulator()
+    for _ in range(batches):
+        values = [rng.randrange(16) for _ in range(4)]
+        for i, v in enumerate(values):
+            sim.poke(f"din[{i + 1}]", v)
+        sim.step()
+        got = [sim.peek_int(f"dout[{i + 1}]") for i in range(4)]
+        assert got == sorted(values)
+    return batches
+
+
+def test_bench_sorter(benchmark):
+    circuit = compile_cached(extras.SORTER)
+    benchmark(sort_batch, circuit, 10)
+    benchmark.extra_info["netlist"] = circuit.stats()
+
+
+def fir_stream(circuit, samples, seed=0):
+    rng = random.Random(seed)
+    sim = circuit.simulator()
+    coef = [1, 0, 1, 1]
+    sim.poke("RSET", 1); sim.poke("x", 0); sim.poke("coef", coef)
+    sim.step()
+    sim.poke("RSET", 0)
+    xs = [rng.randrange(10) for _ in range(samples)]
+    outs = []
+    for x in xs:
+        sim.poke("x", x)
+        sim.step()
+        outs.append(sim.peek_int("y"))
+    golden = []
+    for t in range(len(xs)):
+        total = sum(coef[j - 1] * xs[t - j] for j in range(1, 5) if t - j >= 0)
+        golden.append(total % 256)
+    assert outs == golden
+    return samples
+
+
+def test_bench_fir(benchmark):
+    circuit = compile_cached(extras.FIR)
+    benchmark(fir_stream, circuit, 30)
+    benchmark.extra_info["netlist"] = circuit.stats()
+
+
+def cpu_run(circuit, n):
+    from repro.stdlib.extras import assemble
+    from repro.testbench import Testbench
+
+    tb = Testbench(circuit)
+    words = assemble(f"""
+    LDI 1
+    STA 15
+    LDI {n}
+    STA 0
+    LDI 0
+    STA 1
+    LDA 1
+    ADD 0
+    STA 1
+    LDA 0
+    SUB 15
+    STA 0
+    JNZ 6
+    LDA 1
+    HLT
+    """)
+    tb.reset(cycles=1, iload=0, iaddr=0, idata=0)
+    for addr, word in enumerate(words):
+        tb.drive(iload=1, iaddr=addr, idata=word).clock()
+    tb.drive(iload=0)
+    for _ in range(250):
+        tb.clock()
+        if str(tb.sim.peek_bit("halted")) == "1":
+            break
+    assert tb.peek_int("accout") == n * (n + 1) // 2
+    return tb.sim.cycle
+
+
+def test_cpu_sums_triangular_numbers():
+    circuit = compile_cached(extras.TINYCPU)
+    assert cpu_run(circuit, 6) > 0
+
+
+def test_bench_tinycpu(benchmark):
+    circuit = compile_cached(extras.TINYCPU)
+    cycles = benchmark(cpu_run, circuit, 5)
+    benchmark.extra_info["netlist"] = circuit.stats()
+    benchmark.extra_info["cycles_per_program"] = cycles

@@ -1,0 +1,73 @@
+"""E4 -- the H-tree layout (paper section 10, Fig. htree(4)).
+
+Reproduces the headline area result: the H-tree layout of an n-leaf tree
+occupies a sqrt(n) x sqrt(n) square (linear area), while the naive
+top-down tree layout needs Theta(n log n).  The series regenerated here
+is the area-vs-n table for both layouts plus the ratio trend.
+"""
+
+import math
+
+import pytest
+
+from repro.stdlib import programs
+
+from zeus_bench_utils import compile_cached
+
+
+AREAS = {}
+
+
+def area_of(kind: str, n: int) -> int:
+    key = (kind, n)
+    if key not in AREAS:
+        if kind == "htree":
+            plan = compile_cached(programs.htree(n)).layout()
+        else:
+            plan = compile_cached(programs.trees(n), top="b").layout()
+        AREAS[key] = plan.area
+    return AREAS[key]
+
+
+@pytest.mark.parametrize("n", [4, 16, 64, 256])
+def test_htree_area_is_linear(n):
+    side = int(math.sqrt(n))
+    assert area_of("htree", n) == side * side == n
+
+
+@pytest.mark.parametrize("n", [4, 16, 64, 256])
+def test_naive_tree_area_is_n_log_n(n):
+    assert area_of("naive", n) == (n // 2) * int(math.log2(n))
+
+
+def test_ratio_grows_like_log_n():
+    """The crossover shape: naive/htree area ratio = log2(n)/2."""
+    for n in (16, 64, 256):
+        ratio = area_of("naive", n) / area_of("htree", n)
+        assert ratio == pytest.approx(math.log2(n) / 2)
+
+
+def test_htree_is_square():
+    plan = compile_cached(programs.htree(64)).layout()
+    assert plan.width == plan.height == 8
+
+
+def test_bench_htree_layout(benchmark):
+    circuit = compile_cached(programs.htree(256))
+
+    def layout():
+        return circuit.layout()
+
+    plan = benchmark(layout)
+    benchmark.extra_info["n"] = 256
+    benchmark.extra_info["area"] = plan.area
+    assert plan.area == 256
+
+
+def test_bench_htree_elaboration(benchmark):
+    import repro
+
+    text = programs.htree(256)
+    circuit = benchmark(lambda: repro.compile_text(text))
+    leaves = [i for i in circuit.design.instances if i.type.name == "leaftype"]
+    assert len(leaves) == 256

@@ -1,0 +1,86 @@
+"""E8 -- mux4 (section 3.2) and the REG random-access memory (section 5).
+
+Reproduces: the mux4 truth table and the RAM read/write behaviour with
+NUM-decoded addressing, including the paper-sized 1024 x 16 memory, and
+measures decode/elaboration scaling over memory depth.
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro.stdlib import programs
+
+from zeus_bench_utils import compile_cached
+
+
+def test_mux4_full_truth_table():
+    circuit = compile_cached(programs.MUX4)
+    sim = circuit.simulator()
+    for d in range(16):
+        for sel in range(4):
+            for g in (0, 1):
+                sim.poke("d", d)
+                sim.poke("a", [(sel >> 1) & 1, sel & 1])
+                sim.poke("g", g)
+                sim.step()
+                want = 0 if g else (d >> sel) & 1
+                assert str(sim.peek_bit("y")) == str(want)
+
+
+def ram_roundtrip(circuit, words, width, ops, seed=0):
+    sim = circuit.simulator()
+    rng = random.Random(seed)
+    model = {}
+    for _ in range(ops):
+        addr = rng.randrange(words)
+        if model and rng.random() < 0.5:
+            addr = rng.choice(list(model))
+            sim.poke("we", 0)
+            sim.poke("addr", addr)
+            sim.step()
+            assert sim.peek_int("q") == model[addr]
+        else:
+            value = rng.randrange(1 << width)
+            sim.poke("we", 1)
+            sim.poke("addr", addr)
+            sim.poke("data", value)
+            sim.step()
+            model[addr] = value
+            sim.poke("we", 0)
+    return len(model)
+
+
+@pytest.mark.parametrize("words,abits", [(8, 3), (16, 4), (64, 6)])
+def test_ram_random_roundtrip(words, abits):
+    circuit = compile_cached(programs.memory(words, 8, abits))
+    assert ram_roundtrip(circuit, words, 8, 30) > 0
+
+
+def test_paper_sized_ram_elaborates():
+    """Section 5's example: ARRAY[0..1023] OF ARRAY[1..16] OF REG."""
+    circuit = compile_cached(programs.memory(1024, 16, 10))
+    assert circuit.stats()["registers"] == 1024 * 16
+    sim = circuit.simulator()
+    sim.poke("we", 1); sim.poke("addr", 777); sim.poke("data", 0xBEEF)
+    sim.step()
+    sim.poke("we", 0); sim.step()
+    assert sim.peek_int("q") == 0xBEEF
+
+
+@pytest.mark.parametrize("words,abits", [(16, 4), (64, 6), (256, 8)])
+def test_bench_ram_access(benchmark, words, abits):
+    circuit = compile_cached(programs.memory(words, 8, abits))
+    entries = benchmark(ram_roundtrip, circuit, words, 8, 10)
+    benchmark.extra_info["words"] = words
+    benchmark.extra_info["decode_gates"] = circuit.stats()["gates"]
+    assert entries > 0
+
+
+@pytest.mark.parametrize("words,abits", [(64, 6), (256, 8)])
+def test_bench_ram_elaboration(benchmark, words, abits):
+    text = programs.memory(words, 8, abits)
+    circuit = benchmark(lambda: repro.compile_text(text))
+    benchmark.extra_info["words"] = words
+    assert circuit.stats()["registers"] == words * 8

@@ -1,0 +1,109 @@
+"""E5 -- the systolic pattern matcher (paper section 10) and its
+"possible computation sequence" figure.
+
+Reproduces: match results against a golden software matcher (with and
+without wildcards), the systolic data-movement table (the paper's final
+figure: pattern chars move right, string chars move left, results travel
+with the string), and throughput scaling over the cell count.
+"""
+
+import pytest
+
+from repro.stdlib import programs
+
+from zeus_bench_utils import compile_cached
+
+
+def run_matcher(circuit, pattern, string, wild=None):
+    L = len(pattern)
+    wild = wild or [0] * L
+    padded = [0] * L + list(string)
+    sim = circuit.simulator()
+    for p in ("pattern", "string", "endofpattern", "wild", "resultin"):
+        sim.poke(p, 0)
+    sim.poke("RSET", 1)
+    sim.step(L + 2)
+    sim.poke("RSET", 0)
+    n_align = len(string) - L + 1
+    out = []
+    for t in range(2 * (L + max(n_align, 1)) + 3 * L + 4):
+        if t % 2 == 0:
+            j = (t // 2) % L
+            sim.poke("pattern", pattern[j])
+            sim.poke("endofpattern", 1 if j == L - 1 else 0)
+            sim.poke("wild", wild[j])
+            k = t // 2
+            sim.poke("string", padded[k] if k < len(padded) else 0)
+        else:
+            for p in ("pattern", "endofpattern", "wild", "string"):
+                sim.poke(p, 0)
+        sim.step()
+        out.append(str(sim.peek_bit("result")))
+    return [out[2 * (m + L) + 3 * L - 1] for m in range(n_align)]
+
+
+def golden(pattern, string, wild=None):
+    L = len(pattern)
+    wild = wild or [0] * L
+    return [
+        "1" if all(wild[j] or string[k + j] == pattern[j] for j in range(L))
+        else "0"
+        for k in range(len(string) - L + 1)
+    ]
+
+
+def test_results_match_golden_suite():
+    circuit = compile_cached(programs.patternmatch(3))
+    cases = [
+        ([1, 0, 1], [1, 0, 1, 1, 0, 1, 0], None),
+        ([1, 1, 0], [1, 1, 0, 1, 1, 0, 0, 1], None),
+        ([1, 0, 1], [1, 0, 1, 1, 0, 1, 0], [0, 1, 0]),
+        ([0, 0, 0], [0, 0, 0, 1, 0, 0, 0], None),
+    ]
+    for pattern, string, wild in cases:
+        assert run_matcher(circuit, pattern, string, wild) == golden(
+            pattern, string, wild
+        )
+
+
+def test_computation_sequence_figure():
+    """The paper's final figure: snapshot table of p/s positions over
+    time -- pattern chars advance one cell right per cycle, string chars
+    one cell left, meeting at matching parities."""
+    circuit = compile_cached(programs.patternmatch(3))
+    sim = circuit.simulator()
+    for p in ("pattern", "string", "endofpattern", "wild", "resultin"):
+        sim.poke(p, 0)
+    sim.poke("RSET", 1); sim.step(5); sim.poke("RSET", 0)
+    sim.poke("pattern", 1); sim.poke("string", 1)
+    sim.step()
+    sim.poke("pattern", 0); sim.poke("string", 0)
+    table = []
+    for _ in range(3):
+        sim.step()
+        row = {
+            "p": [str(sim.peek_bit(f"match.pe[{i}].comp.p.out")) for i in (1, 2, 3)],
+            "s": [str(sim.peek_bit(f"match.pe[{i}].comp.s.out")) for i in (1, 2, 3)],
+        }
+        table.append(row)
+    assert [r["p"].index("1") for r in table] == [0, 1, 2]
+    assert [r["s"].index("1") for r in table] == [2, 1, 0]
+
+
+@pytest.mark.parametrize("length", [3, 5, 9])
+def test_bench_matcher_scaling(benchmark, length):
+    circuit = compile_cached(programs.patternmatch(length))
+    pattern = [(i % 2) for i in range(length)]
+    string = [(i % 3) % 2 for i in range(3 * length)]
+    result = benchmark(run_matcher, circuit, pattern, string)
+    benchmark.extra_info["length"] = length
+    benchmark.extra_info["cells"] = length
+    assert result == golden(pattern, string)
+
+
+def test_bench_elaboration(benchmark):
+    import repro
+
+    text = programs.patternmatch(15)
+    circuit = benchmark(lambda: repro.compile_text(text))
+    assert circuit.stats()["registers"] == 15 * 6

@@ -1,0 +1,72 @@
+"""E6 -- the HISDL routing network translated to Zeus (section 4.2).
+
+Reproduces: the recursive elaboration (n/2 * log2 n routers), the
+butterfly permutation realised by the straight-through wiring, and
+elaboration scaling with network size -- the point of the example being
+that the recursive Zeus text generates the whole network.
+"""
+
+import math
+
+import pytest
+
+import repro
+from repro.stdlib import programs
+
+from zeus_bench_utils import compile_cached
+
+
+def butterfly(n):
+    def perm(n, xs):
+        if n == 2:
+            return xs
+        top = perm(n // 2, [xs[2 * i] for i in range(n // 2)])
+        bottom = perm(n // 2, [xs[2 * i + 1] for i in range(n // 2)])
+        return top + bottom
+
+    return perm(n, list(range(n)))
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 16])
+def test_router_count(n):
+    circuit = compile_cached(programs.routing(n))
+    routers = [i for i in circuit.design.instances if i.type.name == "router"]
+    expected = (n // 2) * int(math.log2(n))
+    assert len(routers) == expected
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_permutation(n):
+    circuit = compile_cached(programs.routing(n))
+    sim = circuit.simulator()
+    for j in range(n):
+        sim.poke(f"input[{j}]", j + 1)
+    sim.step()
+    outs = [sim.peek_int(f"output[{j}]") for j in range(n)]
+    assert outs == [v + 1 for v in butterfly(n)]
+
+
+def route_all(circuit, n):
+    sim = circuit.simulator()
+    for j in range(n):
+        sim.poke(f"input[{j}]", (j * 37 + 5) % 1024)
+    sim.step()
+    return [sim.peek_int(f"output[{j}]") for j in range(n)]
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_bench_routing_simulation(benchmark, n):
+    circuit = compile_cached(programs.routing(n))
+    outs = benchmark(route_all, circuit, n)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["nets"] = circuit.stats()["nets"]
+    assert sorted(outs) == sorted((j * 37 + 5) % 1024 for j in range(n))
+
+
+@pytest.mark.parametrize("n", [8, 32])
+def test_bench_recursive_elaboration(benchmark, n):
+    text = programs.routing(n)
+    circuit = benchmark(lambda: repro.compile_text(text))
+    benchmark.extra_info["n"] = n
+    routers = [i for i in circuit.design.instances if i.type.name == "router"]
+    assert len(routers) == (n // 2) * int(math.log2(n))

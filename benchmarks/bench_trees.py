@@ -1,0 +1,65 @@
+"""E3 -- binary broadcast trees (paper section 10, Fig. binary tree).
+
+Reproduces the iterative/recursive equivalence and the layout of the
+recursive version; measures elaboration scaling of both formulations.
+"""
+
+import pytest
+
+import repro
+from repro.stdlib import programs
+
+from zeus_bench_utils import compile_cached
+
+
+@pytest.mark.parametrize("n", [4, 8, 16, 32])
+def test_equivalence(n):
+    """tree(n) and rtree(n) broadcast identically and use n-1 nodes."""
+    for top in ("a", "b"):
+        circuit = compile_cached(programs.trees(n), top=top)
+        nodes = [i for i in circuit.design.instances if i.type.name == "q"]
+        assert len(nodes) == n - 1
+        sim = circuit.simulator()
+        for v in (1, 0):
+            sim.poke("in", v)
+            sim.step()
+            assert [str(x) for x in sim.peek("leaf")] == [str(v)] * n
+
+
+def test_recursive_layout_figure():
+    """Root on top, sub-trees side by side below (the paper's layout)."""
+    plan = compile_cached(programs.trees(8), top="b").layout()
+    cells = dict(plan.iter_cells())
+    roots = [r for name, r in cells.items() if name.endswith(".root")]
+    assert roots
+    top_root = min(roots, key=lambda r: r.y)
+    assert top_root.y == 0  # the root row is the top row
+    assert plan.height == 3  # log2(8) levels of q cells
+
+
+@pytest.mark.parametrize("top,n", [("a", 64), ("b", 64), ("a", 256), ("b", 256)])
+def test_bench_elaboration(benchmark, top, n):
+    text = programs.trees(n)
+
+    def build():
+        return repro.compile_text(text, top=top)
+
+    circuit = benchmark(build)
+    benchmark.extra_info["formulation"] = "iterative" if top == "a" else "recursive"
+    benchmark.extra_info["n"] = n
+    nodes = [i for i in circuit.design.instances if i.type.name == "q"]
+    assert len(nodes) == n - 1
+
+
+def test_bench_broadcast_simulation(benchmark):
+    circuit = compile_cached(programs.trees(64), top="a")
+    sim = circuit.simulator()
+
+    def run():
+        for v in (0, 1):
+            sim.poke("in", v)
+            sim.step()
+        return sim.peek("leaf")
+
+    leaves = benchmark(run)
+    assert len(leaves) == 64

@@ -1,0 +1,147 @@
+"""E10 -- "a simulator which is conceptually simpler than state-of-the-art
+switch-level circuit simulators" (paper section 1).
+
+The same ripple-carry adder is simulated at the Zeus gate level and at
+the transistor level with the Bryant-style switch-level baseline.  The
+shape to reproduce:
+
+* the Zeus dataflow evaluation is **one pass** (every node fires once);
+  the switch-level relaxation needs **several sweeps**, growing with the
+  carry-chain length;
+* per evaluated input vector, the switch-level simulator does orders of
+  magnitude more node work (component scans over transistor groups);
+* wall-clock per addition favours Zeus increasingly with width.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines import SwitchSimulator, build_ripple_adder
+from repro.stdlib import programs
+
+from zeus_bench_utils import compile_cached
+
+
+def zeus_add(circuit, width, vectors):
+    sim = circuit.simulator()
+    for a, b, cin in vectors:
+        sim.poke("a", a); sim.poke("b", b); sim.poke("cin", cin)
+        sim.step()
+        got = sim.peek_int("s") + (int(sim.peek_bit("cout")) << width)
+        assert got == a + b + cin
+    return sim.event_count
+
+
+def switch_add(circuit, ports, width, vectors):
+    sim = SwitchSimulator(circuit)
+    sweeps = 0
+    for a, b, cin in vectors:
+        for i, n in enumerate(ports["a"]):
+            sim.poke(n, (a >> i) & 1)
+        for i, n in enumerate(ports["b"]):
+            sim.poke(n, (b >> i) & 1)
+        sim.poke("cin", cin)
+        sweeps += sim.settle()
+        s = sum(
+            (1 if str(sim.peek(n)) == "1" else 0) << i
+            for i, n in enumerate(ports["s"])
+        )
+        cout = 1 if str(sim.peek(ports["cout"][0])) == "1" else 0
+        assert s + (cout << width) == a + b + cin
+    return sweeps, sim.component_scans
+
+
+def vectors_for(width, count, seed=0):
+    rng = random.Random(seed)
+    vecs = [
+        (rng.randrange(1 << width), rng.randrange(1 << width), rng.randrange(2))
+        for _ in range(count - 1)
+    ]
+    # Include the worst case: a full-length carry ripple.
+    vecs.append(((1 << width) - 1, 0, 1))
+    return vecs
+
+
+@pytest.mark.parametrize("width", [4, 8])
+def test_shape_zeus_single_pass_vs_relaxation(width):
+    zc = compile_cached(programs.ripple_carry(width), top="adder")
+    sc, ports = build_ripple_adder(width)
+    vecs = vectors_for(width, 4)
+    zeus_add(zc, width, vecs)
+    sweeps, scans = switch_add(sc, ports, width, vecs)
+    # Zeus: one firing pass per vector.  Switch level: the worst-case
+    # vector alone needs more sweeps than the Zeus pass count.
+    assert sweeps / len(vecs) > 1.5
+    # Work ratio: component scans vastly exceed Zeus events.
+    zeus_events = zc.stats()["nets"]
+    assert scans > 10 * zeus_events
+
+
+def test_shape_sweeps_grow_with_width():
+    sweeps_by_width = {}
+    for width in (4, 8, 16):
+        sc, ports = build_ripple_adder(width)
+        sim = SwitchSimulator(sc)
+        for i, n in enumerate(ports["a"]):
+            sim.poke(n, 1)
+        for i, n in enumerate(ports["b"]):
+            sim.poke(n, 0)
+        sim.poke("cin", 1)
+        sweeps_by_width[width] = sim.settle()
+    assert sweeps_by_width[8] > sweeps_by_width[4]
+    assert sweeps_by_width[16] > sweeps_by_width[8]
+
+
+@pytest.mark.parametrize("width", [4, 8])
+def test_bench_zeus_gate_level(benchmark, width):
+    circuit = compile_cached(programs.ripple_carry(width), top="adder")
+    vecs = vectors_for(width, 5)
+    events = benchmark(zeus_add, circuit, width, vecs)
+    benchmark.extra_info["width"] = width
+    benchmark.extra_info["events"] = events
+
+
+@pytest.mark.parametrize("width", [4, 8])
+def test_bench_switch_level(benchmark, width):
+    sc, ports = build_ripple_adder(width)
+    vecs = vectors_for(width, 5)
+    sweeps, scans = benchmark(switch_add, sc, ports, width, vecs)
+    benchmark.extra_info["width"] = width
+    benchmark.extra_info["sweeps"] = sweeps
+    benchmark.extra_info["component_scans"] = scans
+    benchmark.extra_info["transistors"] = sc.transistor_count
+
+
+class TestAutomaticTranslation:
+    """The strengthened comparison: the *same elaborated design* run at
+    the gate level and, via automatic transistorization, at the switch
+    level -- outputs must agree, work must diverge."""
+
+    def test_cosimulation_agrees(self):
+        from repro.baselines import TransistorizedSimulator
+
+        circuit = compile_cached(programs.ripple_carry(4), top="adder")
+        zsim = circuit.simulator()
+        tsim = TransistorizedSimulator(circuit.design)
+        for a, b, cin in vectors_for(4, 6, seed=5):
+            for sim in (zsim, tsim):
+                sim.poke("a", a); sim.poke("b", b); sim.poke("cin", cin)
+                sim.step()
+            assert zsim.peek_int("s") == tsim.peek_int("s")
+
+    def test_bench_transistorized(self, benchmark):
+        from repro.baselines import TransistorizedSimulator
+
+        circuit = compile_cached(programs.ripple_carry(4), top="adder")
+        tsim = TransistorizedSimulator(circuit.design)
+        vecs = vectors_for(4, 3, seed=7)
+
+        def run():
+            for a, b, cin in vecs:
+                tsim.poke("a", a); tsim.poke("b", b); tsim.poke("cin", cin)
+                tsim.step()
+            return tsim.peek_int("s")
+
+        benchmark(run)
+        benchmark.extra_info["transistors"] = tsim.transistor_count

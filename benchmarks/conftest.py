@@ -1,0 +1,10 @@
+"""Pytest fixtures for the experiment benchmarks."""
+
+import pytest
+
+from zeus_bench_utils import compile_cached
+
+
+@pytest.fixture
+def cached():
+    return compile_cached

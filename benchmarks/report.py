@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Regenerate the EXPERIMENTS.md tables from a live run.
+
+Usage:  python benchmarks/report.py
+
+Prints the measured series for E1 (adder scaling), E4 (H-tree areas),
+E6 (router counts), E9 (fault detection), E10 (Zeus vs. switch level),
+E12 (compiler throughput) and the program inventory, in the same shapes
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import repro
+from repro.analysis import logic_depth
+from repro.baselines import SwitchSimulator, build_ripple_adder
+from repro.core.checker import check
+from repro.core.elaborate import elaborate
+from repro.lang import parse
+from repro.stdlib import extras, programs
+
+
+def table(headers: list[str], rows: list[list]) -> str:
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    def fmt(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines += [fmt(r) for r in rows]
+    return "\n".join(lines)
+
+
+def e1_adders() -> None:
+    print("\n== E1: adder scaling ==")
+    rows = []
+    for w in (4, 8, 16, 32):
+        c = repro.compile_text(programs.ripple_carry(w), top="adder")
+        s = c.stats()
+        rows.append([w, s["gates"], s["nets"], logic_depth(c.netlist)])
+    print(table(["width", "gates", "nets", "depth"], rows))
+
+
+def e4_areas() -> None:
+    print("\n== E4: H-tree vs naive tree layout area ==")
+    rows = []
+    for n in (4, 16, 64, 256):
+        h = repro.compile_text(programs.htree(n)).layout()
+        t = repro.compile_text(programs.trees(n), top="b").layout()
+        rows.append([
+            n,
+            f"{h.width}x{h.height}={h.area}",
+            f"{t.width}x{t.height}={t.area}",
+            f"{t.area / h.area:.2f}",
+        ])
+    print(table(["n", "htree", "naive", "ratio"], rows))
+
+
+def e6_routing() -> None:
+    print("\n== E6: routing network size ==")
+    rows = []
+    for n in (2, 4, 8, 16, 32):
+        c = repro.compile_text(programs.routing(n))
+        routers = sum(1 for i in c.design.instances if i.type.name == "router")
+        rows.append([n, routers, (n // 2) * int(math.log2(n)), c.stats()["nets"]])
+    print(table(["n", "routers", "expected", "nets"], rows))
+
+
+def e9_safety() -> None:
+    print("\n== E9: fault detection ==")
+    import importlib
+
+    mod = importlib.import_module("bench_safety")
+    rows = []
+    for name, text, inputs, expected in mod.FAULTS:
+        rows.append([name, mod.classify(text, inputs), expected])
+    print(table(["fault", "detected", "expected"], rows))
+
+
+def e10_vs_switch() -> None:
+    print("\n== E10: Zeus gate level vs switch level (worst-case carry) ==")
+    rows = []
+    for w in (4, 8, 16):
+        zc = repro.compile_text(programs.ripple_carry(w), top="adder")
+        zsim = zc.simulator()
+        t0 = time.perf_counter()
+        zsim.poke("a", (1 << w) - 1); zsim.poke("b", 0); zsim.poke("cin", 1)
+        zsim.step()
+        zt = time.perf_counter() - t0
+        sc, ports = build_ripple_adder(w)
+        ssim = SwitchSimulator(sc)
+        for i, nm in enumerate(ports["a"]):
+            ssim.poke(nm, 1)
+        for i, nm in enumerate(ports["b"]):
+            ssim.poke(nm, 0)
+        ssim.poke("cin", 1)
+        t0 = time.perf_counter()
+        sweeps = ssim.settle()
+        st = time.perf_counter() - t0
+        rows.append([
+            w, zsim.event_count, f"{zt * 1e3:.2f}ms",
+            sc.transistor_count, sweeps, ssim.component_scans,
+            f"{st * 1e3:.1f}ms", f"{st / zt:.0f}x",
+        ])
+    print(table(
+        ["width", "zeus events", "zeus t", "transistors", "sweeps",
+         "scans", "switch t", "ratio"],
+        rows,
+    ))
+
+
+def e12_compiler() -> None:
+    print("\n== E12: compiler throughput ==")
+    import importlib
+
+    gen = importlib.import_module("bench_compiler").generate_program
+    rows = []
+    for n in (50, 200, 800):
+        text = gen(n)
+        t0 = time.perf_counter(); prog = parse(text)
+        t1 = time.perf_counter(); design = elaborate(prog)
+        t2 = time.perf_counter(); check(design, strict=False)
+        t3 = time.perf_counter()
+        rows.append([
+            n, f"{(t1 - t0) * 1e3:.1f}ms", f"{(t2 - t1) * 1e3:.1f}ms",
+            f"{(t3 - t2) * 1e3:.1f}ms", design.netlist.stats()["nets"],
+        ])
+    print(table(["components", "parse", "elaborate", "check", "nets"], rows))
+
+
+def inventory() -> None:
+    print("\n== program inventory ==")
+    rows = []
+    for name, src in {**programs.ALL_PROGRAMS, **extras.EXTRA_PROGRAMS}.items():
+        c = repro.compile_text(src)
+        s = c.stats()
+        rows.append([
+            name, s["nets"], s["gates"], s["connections"],
+            s["registers"], logic_depth(c.netlist),
+        ])
+    print(table(["program", "nets", "gates", "conns", "regs", "depth"], rows))
+
+
+def main() -> None:
+    import os
+    import sys
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    print("EXPERIMENTS.md tables, regenerated live "
+          "(see that file for the paper-vs-measured commentary)")
+    e1_adders()
+    e4_areas()
+    e6_routing()
+    e9_safety()
+    e10_vs_switch()
+    e12_compiler()
+    inventory()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Shared helper functions for the experiment benchmarks (E1-E12, DESIGN.md).
+
+Every benchmark both *measures* (via pytest-benchmark) and *verifies the
+shape* of its experiment: who wins, by roughly what factor, where the
+crossovers fall.  Numbers are recorded in ``benchmark.extra_info`` so the
+EXPERIMENTS.md tables can be regenerated from a benchmark run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+_CACHE: dict[tuple, repro.Circuit] = {}
+
+
+def compile_cached(text: str, top: str | None = None) -> repro.Circuit:
+    key = (hash(text), top)
+    if key not in _CACHE:
+        _CACHE[key] = repro.compile_text(text, top=top)
+    return _CACHE[key]
+
+
+@pytest.fixture
+def cached():
+    return compile_cached

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Play Blackjack against the paper's finite state machine.
+
+The dealer machine of section 10 draws cards while its score is below
+17, counts a first ace as 11, takes the 10 back when it would bust, and
+finally signals `stand` or `broke`.  This example deals random shoes and
+shows the machine's internal state per cycle -- a template for driving
+any synchronous Zeus design with a reactive testbench.
+
+Run:  python examples/blackjack_game.py [seed]
+"""
+
+import random
+import sys
+
+import repro
+from repro.stdlib import programs
+
+STATES = {0: "start", 4: "read", 2: "sum", 6: "firstace", 1: "test", 5: "end"}
+
+
+def deal_game(sim, shoe, verbose=True):
+    """Drive the machine through one game; returns (outcome, score)."""
+    sim.reset_state()
+    sim.poke("RSET", 1)
+    sim.poke("ycard", 0)
+    sim.poke("value", 0)
+    sim.step()
+    sim.poke("RSET", 0)
+
+    dealt = []
+    for _ in range(200):
+        sim.poke("ycard", 0)
+        sim.evaluate()  # preview this cycle's outputs before committing
+        state = STATES.get(sim.peek_int("bj.state.out") or 0, "?")
+        score = sim.peek_int("bj.score.out")
+        if verbose:
+            print(f"   cycle {sim.cycle:3d}  state={state:8s} "
+                  f"score={score if score is not None else '?':>2}")
+        if str(sim.peek_bit("stand")) == "1":
+            return "stand", score, dealt
+        if str(sim.peek_bit("broke")) == "1":
+            return "broke", score, dealt
+        if str(sim.peek_bit("hit")) == "1" and shoe:
+            card = shoe.pop(0)
+            dealt.append(card)
+            sim.poke("ycard", 1)
+            sim.poke("value", card)
+            if verbose:
+                print(f"        -> dealing {card}")
+        sim.step()
+    return "hung", None, dealt
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 42
+    rng = random.Random(seed)
+
+    print("compiling the Blackjack machine ...")
+    circuit = repro.compile_text(programs.BLACKJACK)
+    print(f"   {circuit.netlist.describe()}")
+    sim = circuit.simulator()
+
+    results = {"stand": 0, "broke": 0}
+    for game in range(5):
+        shoe = [min(rng.randint(1, 13), 10) for _ in range(12)]
+        print(f"\ngame {game + 1}: shoe = {shoe}")
+        outcome, score, dealt = deal_game(sim, shoe)
+        print(f"   dealer {outcome} with {score} (cards taken: {dealt})")
+        results[outcome] = results.get(outcome, 0) + 1
+
+    print(f"\nsession: {results}")
+
+
+if __name__ == "__main__":
+    main()

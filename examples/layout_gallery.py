@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Layout gallery: the section-6 layout language on the paper's figures.
+
+Renders the floorplans of the adder row, the recursive binary tree, the
+H-tree (the linear-area result), and the chessboard of virtual-signal
+replacements -- as ASCII and as SVG files under /tmp/zeus_layouts/.
+
+Run:  python examples/layout_gallery.py
+"""
+
+import math
+import os
+
+import repro
+from repro.stdlib import programs
+
+OUT_DIR = "/tmp/zeus_layouts"
+
+
+def show(title: str, circuit: repro.Circuit, svg_name: str) -> None:
+    plan = circuit.layout()
+    print(f"\n=== {title} ===")
+    print(f"bounding box {plan.width} x {plan.height}  "
+          f"(area {plan.area}, {plan.leaf_count()} cells)")
+    print(plan.render_text())
+    path = os.path.join(OUT_DIR, svg_name)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(plan.render_svg())
+    print(f"svg: {path}")
+
+
+def main() -> None:
+    os.makedirs(OUT_DIR, exist_ok=True)
+
+    show("rippleCarry(8): a row of full adders (Fig. Adder)",
+         repro.compile_text(programs.ripple_carry(8), top="adder"),
+         "adder.svg")
+
+    show("rtree(16): recursive binary tree, root on top",
+         repro.compile_text(programs.trees(16), top="b"),
+         "rtree.svg")
+
+    show("htree(64): the H-tree -- linear area",
+         repro.compile_text(programs.htree(64)),
+         "htree.svg")
+
+    show("chessboard(6): virtual signals replaced by black/white cells",
+         repro.compile_text(programs.chessboard(6)),
+         "chessboard.svg")
+
+    show("patternmatch(7): comparator over accumulator per column",
+         repro.compile_text(programs.patternmatch(7)),
+         "patternmatch.svg")
+
+    # The headline numbers: H-tree area is linear, naive tree is n log n.
+    print("\n=== area comparison (the paper's H-tree claim) ===")
+    print(f"{'n':>6} {'htree':>8} {'naive tree':>11} {'ratio':>7}")
+    for n in (4, 16, 64, 256):
+        h = repro.compile_text(programs.htree(n)).layout().area
+        t = repro.compile_text(programs.trees(n), top="b").layout().area
+        print(f"{n:>6} {h:>8} {t:>11} {t / h:>7.2f}")
+    print("(ratio = log2(n)/2, growing without bound)")
+
+
+if __name__ == "__main__":
+    main()

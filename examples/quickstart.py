@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quickstart: compile and simulate your first Zeus circuit.
+
+Zeus (Lieberherr & Knudsen, 1983) describes hardware as *component
+types* instantiated by *signal declarations*.  This script walks the
+full API surface on the paper's own full adder:
+
+1. compile a program text (parse -> elaborate -> static checks);
+2. inspect the elaborated netlist;
+3. simulate with poke/step/peek;
+4. capture a waveform and export a VCD;
+5. compute the floorplan of the layout annotations.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+from repro.core.trace import Trace
+
+PROGRAM = """
+TYPE halfadder = COMPONENT (IN a, b: boolean; OUT cout, s: boolean) IS
+BEGIN
+    s := XOR(a, b);
+    cout := AND(a, b)
+END;
+
+fulladder = COMPONENT (IN a, b, cin: boolean; OUT cout, s: boolean) IS
+SIGNAL h1, h2: halfadder;
+{ ORDER lefttoright h1; h2 END }
+BEGIN
+    h1(a, b, *, h2.a);
+    h2(h1.s, cin, *, s);   <* the * indicates that no connection is made *>
+    cout := OR(h1.cout, h2.cout)
+END;
+
+SIGNAL fa: fulladder;
+"""
+
+
+def main() -> None:
+    # -- 1. compile ---------------------------------------------------------
+    circuit = repro.compile_text(PROGRAM)
+    print(f"compiled {circuit.name!r}: {circuit.netlist.describe()}")
+    for port in circuit.netlist.ports:
+        print(f"   {port.mode:>5}  {port.name}  ({len(port.nets)} bit)")
+
+    # -- 2. netlist inspection ----------------------------------------------
+    stats = circuit.stats()
+    print(f"\nsemantics graph: {stats['nets']} signal nodes, "
+          f"{stats['gates']} predefined component nodes")
+
+    # -- 3. simulate the full truth table ------------------------------------
+    sim = circuit.simulator()
+    trace = Trace(["a", "b", "cin", "s", "cout"])
+    sim.attach_trace(trace)
+    print("\n a b cin | s cout")
+    for a in (0, 1):
+        for b in (0, 1):
+            for cin in (0, 1):
+                sim.poke("a", a)
+                sim.poke("b", b)
+                sim.poke("cin", cin)
+                sim.step()
+                s = sim.peek_bit("s")
+                cout = sim.peek_bit("cout")
+                print(f" {a} {b}  {cin}  | {s}   {cout}")
+                assert int(str(s)) + 2 * int(str(cout)) == a + b + cin
+
+    # -- 4. waveforms ---------------------------------------------------------
+    print("\nwaveform:")
+    print(trace.render_ascii())
+    trace.write_vcd("/tmp/fulladder.vcd", "fulladder")
+    print("VCD written to /tmp/fulladder.vcd")
+
+    # -- 5. layout -------------------------------------------------------------
+    plan = circuit.layout()
+    print(f"\nfloorplan {plan.width} x {plan.height} "
+          f"(the two half adders side by side):")
+    print(plan.render_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Bit-pattern search on the Foster/Kung systolic matcher.
+
+The paper's flagship systolic example (section 10): an array of
+comparator/accumulator cells through which the pattern flows rightward
+and the text flows leftward, each at half speed, so that every pattern
+position meets every text position.  The end-of-pattern marker travels
+with the pattern and flushes each cell's accumulated result onto the
+leftward result stream.
+
+This example searches a text for a pattern (with optional ? wildcards)
+and prints the match positions, then shows the cell-by-cell snapshot
+table corresponding to the paper's closing figure.
+
+Run:  python examples/systolic_search.py 1?1 101101011
+"""
+
+import sys
+
+import repro
+from repro.stdlib import programs
+
+
+def search(pattern_text: str, text: str, show_table: bool = False):
+    pattern = [1 if c == "1" else 0 for c in pattern_text]
+    wild = [1 if c == "?" else 0 for c in pattern_text]
+    string = [int(c) for c in text]
+    L = len(pattern)
+    if L % 2 == 0:
+        raise SystemExit("pattern length must be odd (the paper's constraint)")
+
+    circuit = repro.compile_text(programs.patternmatch(L))
+    sim = circuit.simulator()
+
+    # Reset long enough to flush the marker pipelines.
+    for p in ("pattern", "string", "endofpattern", "wild", "resultin"):
+        sim.poke(p, 0)
+    sim.poke("RSET", 1)
+    sim.step(L + 2)
+    sim.poke("RSET", 0)
+
+    padded = [0] * L + string  # pipeline-fill lead-in
+    n_align = len(string) - L + 1
+    out = []
+    snapshots = []
+    for t in range(2 * (L + max(n_align, 1)) + 3 * L + 4):
+        if t % 2 == 0:
+            j = (t // 2) % L
+            sim.poke("pattern", pattern[j])
+            sim.poke("endofpattern", 1 if j == L - 1 else 0)
+            sim.poke("wild", wild[j])
+            k = t // 2
+            sim.poke("string", padded[k] if k < len(padded) else 0)
+        else:
+            for p in ("pattern", "endofpattern", "wild", "string"):
+                sim.poke(p, 0)
+        sim.step()
+        out.append(str(sim.peek_bit("result")))
+        if show_table and t < 14:
+            row = []
+            for i in range(1, L + 1):
+                p = sim.peek_bit(f"match.pe[{i}].comp.p.out")
+                s = sim.peek_bit(f"match.pe[{i}].comp.s.out")
+                r = sim.peek_bit(f"match.pe[{i}].acc.r.out")
+                row.append(f"p={p} s={s} r={r}")
+            snapshots.append((t, row))
+
+    matches = [
+        m for m in range(n_align)
+        if out[2 * (m + L) + 3 * L - 1] == "1"
+    ]
+    return matches, snapshots
+
+
+def main() -> None:
+    pattern = sys.argv[1] if len(sys.argv) > 1 else "1?1"
+    text = sys.argv[2] if len(sys.argv) > 2 else "101101011"
+    print(f"searching for {pattern!r} in {text!r} "
+          f"({len(pattern)} systolic cells) ...")
+    matches, snapshots = search(pattern, text, show_table=True)
+    print(f"matches at offsets: {matches}")
+
+    # Software cross-check.
+    golden = [
+        k for k in range(len(text) - len(pattern) + 1)
+        if all(pc == "?" or pc == tc
+               for pc, tc in zip(pattern, text[k:k + len(pattern)]))
+    ]
+    print(f"golden matcher    : {golden}")
+    assert matches == golden, "systolic and software matcher disagree!"
+
+    print("\ncomputation sequence (cells 1..%d, first cycles):" % len(pattern))
+    for t, row in snapshots:
+        print(f"  t={t:2d}  " + "   ".join(row))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables `pip install -e .` / `setup.py develop` on
+environments without the `wheel` package (offline PEP 660 fallback)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,156 @@
+"""repro -- a complete reproduction of *Zeus: A Hardware Description
+Language for VLSI* (Lieberherr & Knudsen, ETH Zürich report 51, 1983).
+
+Quickstart::
+
+    import repro
+
+    circuit = repro.compile_text('''
+        TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS
+        BEGIN
+            s := XOR(a,b);
+            cout := AND(a,b)
+        END;
+        SIGNAL h: halfadder;
+    ''')
+    sim = circuit.simulator()
+    sim.poke("a", 1)
+    sim.poke("b", 1)
+    sim.step()
+    assert sim.peek_bit("s") == repro.ZERO
+    assert sim.peek_bit("cout") == repro.ONE
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .core import (
+    NOINFL,
+    ONE,
+    UNDEF,
+    ZERO,
+    Design,
+    Logic,
+    Netlist,
+    Simulator,
+    check,
+    elaborate,
+)
+from .lang import (
+    CheckError,
+    DiagnosticSink,
+    ElaborationError,
+    LayoutError,
+    LexError,
+    ParseError,
+    SimulationError,
+    SourceText,
+    TypeError_,
+    ZeusError,
+    parse,
+)
+
+__version__ = "1.0.0"
+
+
+@dataclass
+class Circuit:
+    """A compiled Zeus design: elaborated, checked, ready to simulate."""
+
+    design: Design
+    diagnostics: DiagnosticSink
+
+    @property
+    def name(self) -> str:
+        return self.design.name
+
+    @property
+    def netlist(self) -> Netlist:
+        return self.design.netlist
+
+    def simulator(self, **kwargs) -> Simulator:
+        """A fresh :class:`~repro.core.simulator.Simulator` over this
+        design.  Keyword arguments: ``strict``, ``seed``,
+        ``record_firing``."""
+        return Simulator(self.design, **kwargs)
+
+    def stats(self) -> dict[str, int]:
+        return self.netlist.stats()
+
+    def layout(self):
+        """Compute the floorplan of the top component (section 6)."""
+        from .layout import compute_layout
+
+        return compute_layout(self.design)
+
+
+def compile_text(
+    text: str,
+    top: str | None = None,
+    *,
+    name: str = "<string>",
+    strict: bool = True,
+) -> Circuit:
+    """Parse, elaborate and statically check a Zeus program text.
+
+    *top* names the top-level signal declaration to instantiate (default:
+    the last component-typed one).  With ``strict=False``, check errors
+    are collected in ``Circuit.diagnostics`` instead of raised.
+    """
+    source = SourceText(text, name)
+    program = parse(source)
+    design = elaborate(program, top=top, source=source)
+    design.netlist.name = design.name
+    sink = check(design, strict=strict)
+    for diag in design.sink.diagnostics:
+        sink.diagnostics.insert(0, diag)
+    return Circuit(design, sink)
+
+
+def make_testbench(circuit: "Circuit | str", **kwargs) -> "object":
+    """Create a :class:`repro.testbench.Testbench` for a circuit (or a
+    program text, which is compiled first).
+
+    Named ``make_testbench`` because ``repro.testbench`` is the module.
+    """
+    from .testbench import Testbench
+
+    if isinstance(circuit, str):
+        circuit = compile_text(circuit)
+    return Testbench(circuit, **kwargs)
+
+
+def compile_file(path: str, top: str | None = None, **kwargs) -> Circuit:
+    """Compile a ``.zeus`` source file (see :func:`compile_text`)."""
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    return compile_text(text, top, name=path, **kwargs)
+
+
+__all__ = [
+    "Circuit",
+    "CheckError",
+    "Design",
+    "DiagnosticSink",
+    "ElaborationError",
+    "LayoutError",
+    "LexError",
+    "Logic",
+    "NOINFL",
+    "ONE",
+    "ParseError",
+    "SimulationError",
+    "Simulator",
+    "SourceText",
+    "TypeError_",
+    "UNDEF",
+    "ZERO",
+    "ZeusError",
+    "compile_file",
+    "compile_text",
+    "make_testbench",
+    "elaborate",
+    "parse",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Analysis utilities over elaborated designs: depth/fan-out statistics,
+critical paths, cones, equivalence checking, and DOT export."""
+
+from .equiv import EquivalenceReport, Mismatch, exhaustive_equivalent, random_equivalent
+from .graphdot import to_dot, write_dot
+from .netstats import (
+    cone_of_influence,
+    critical_path,
+    fanout,
+    logic_depth,
+    logic_levels,
+    max_fanout,
+    register_paths,
+    summary,
+)
+
+__all__ = [
+    "EquivalenceReport",
+    "Mismatch",
+    "cone_of_influence",
+    "critical_path",
+    "exhaustive_equivalent",
+    "fanout",
+    "logic_depth",
+    "logic_levels",
+    "max_fanout",
+    "random_equivalent",
+    "register_paths",
+    "summary",
+    "to_dot",
+    "write_dot",
+]

@@ -1,0 +1,90 @@
+"""Graphviz (DOT) export of the semantics graph.
+
+Renders the section-8 picture: signal nodes (ellipses), predefined
+component nodes (boxes), registers (double octagons, the cycle
+breakers), guarded edges dashed and labelled with their condition.
+"""
+
+from __future__ import annotations
+
+from ..core.netlist import Netlist
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', r"\"") + '"'
+
+
+def to_dot(netlist: Netlist, *, include_synthetic: bool = True) -> str:
+    """Serialise the semantics graph as a DOT digraph.
+
+    ``include_synthetic=False`` hides the elaborator's helper nets
+    (names starting with ``$``), which makes small examples readable.
+    """
+    find = netlist.find
+    lines = [
+        f"digraph {_quote(netlist.name)} {{",
+        "  rankdir=LR;",
+        "  node [fontsize=10];",
+    ]
+
+    def visible(name: str) -> bool:
+        return include_synthetic or not name.split(".")[-1].startswith("$")
+
+    emitted: set[int] = set()
+
+    def net_node(net) -> str:
+        canon = find(net)
+        if canon.id not in emitted:
+            emitted.add(canon.id)
+            shape = "ellipse"
+            style = ""
+            if canon.is_input:
+                style = ' style=filled fillcolor="#dff3df"'
+            elif canon.is_output:
+                style = ' style=filled fillcolor="#dfe4f3"'
+            if canon.kind != "boolean":
+                shape = "hexagon"  # multiplex (tri-state) signals
+            lines.append(
+                f"  n{canon.id} [label={_quote(canon.name)} shape={shape}{style}];"
+            )
+        return f"n{canon.id}"
+
+    for gate in netlist.gates:
+        gid = f"g{gate.id}"
+        lines.append(f"  {gid} [label={_quote(gate.op)} shape=box];")
+        for inp in gate.inputs:
+            if visible(find(inp).name):
+                lines.append(f"  {net_node(inp)} -> {gid};")
+        if visible(find(gate.output).name):
+            lines.append(f"  {gid} -> {net_node(gate.output)};")
+
+    for i, reg in enumerate(netlist.regs):
+        rid = f"r{i}"
+        label = reg.name or f"REG{i}"
+        lines.append(f"  {rid} [label={_quote(label)} shape=doubleoctagon];")
+        lines.append(f"  {net_node(reg.d)} -> {rid} [style=bold];")
+        lines.append(f"  {rid} -> {net_node(reg.q)} [style=bold];")
+
+    for conn in netlist.unique_conns():
+        src, dst = net_node(conn.src), net_node(conn.dst)
+        if conn.cond is None:
+            lines.append(f"  {src} -> {dst};")
+        else:
+            guard = find(conn.cond).name
+            lines.append(
+                f"  {src} -> {dst} [style=dashed label={_quote(guard)} fontsize=8];"
+            )
+
+    for cc in netlist.unique_const_conns():
+        cid = f"c_{cc.dst.id}_{int(cc.value)}"
+        lines.append(f"  {cid} [label={_quote(str(cc.value))} shape=plaintext];")
+        style = "" if cc.cond is None else " [style=dashed]"
+        lines.append(f"  {cid} -> {net_node(cc.dst)}{style};")
+
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_dot(netlist: Netlist, path: str, **kwargs) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(to_dot(netlist, **kwargs))

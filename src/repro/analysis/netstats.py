@@ -1,0 +1,116 @@
+"""Netlist analysis: logic depth, critical paths, fan-out, cones.
+
+These are the queries a user of an early-80s silicon compiler front-end
+would ask of the semantics graph: how deep is the combinational logic
+between registers (the clock-period proxy in the unit-delay model), what
+is the critical path, which inputs feed a given signal.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..core.checker import dependency_graph, topological_order
+from ..core.netlist import Net, Netlist
+
+
+def logic_levels(netlist: Netlist) -> dict[int, int]:
+    """Unit-delay level per canonical net id: sources (inputs, register
+    outputs, constants) are level 0; every edge adds one."""
+    order = topological_order(netlist)
+    deps = dependency_graph(netlist)
+    levels: dict[int, int] = {}
+    for nid in order:
+        preds = deps.get(nid, ())
+        levels[nid] = 1 + max((levels[p] for p in preds), default=-1)
+    return levels
+
+
+def logic_depth(netlist: Netlist) -> int:
+    """The maximum unit-delay level -- the combinational critical depth."""
+    levels = logic_levels(netlist)
+    return max(levels.values(), default=0)
+
+
+def critical_path(netlist: Netlist) -> list[str]:
+    """Net names along one deepest combinational path, source first."""
+    levels = logic_levels(netlist)
+    if not levels:
+        return []
+    deps = dependency_graph(netlist)
+    node = max(levels, key=lambda nid: levels[nid])
+    path = [node]
+    while levels[node] > 0:
+        node = max(deps.get(node, ()), key=lambda p: levels[p])
+        path.append(node)
+    path.reverse()
+    return [netlist.nets[nid].name for nid in path]
+
+
+def fanout(netlist: Netlist) -> dict[int, int]:
+    """Consumers per canonical net id (gate inputs + connection sources
+    + guards + register data inputs)."""
+    find = netlist.find
+    counts: dict[int, int] = defaultdict(int)
+    for gate in netlist.gates:
+        for inp in gate.inputs:
+            counts[find(inp).id] += 1
+    for conn in netlist.conns:
+        counts[find(conn.src).id] += 1
+        if conn.cond is not None:
+            counts[find(conn.cond).id] += 1
+    for cc in netlist.const_conns:
+        if cc.cond is not None:
+            counts[find(cc.cond).id] += 1
+    for reg in netlist.regs:
+        counts[find(reg.d).id] += 1
+    return dict(counts)
+
+
+def max_fanout(netlist: Netlist) -> tuple[str, int]:
+    """(net name, consumer count) of the most loaded net."""
+    counts = fanout(netlist)
+    if not counts:
+        return ("", 0)
+    nid = max(counts, key=lambda k: counts[k])
+    return (netlist.nets[nid].name, counts[nid])
+
+
+def cone_of_influence(netlist: Netlist, net: Net) -> set[str]:
+    """Names of all nets the given net transitively depends on
+    (combinationally; REG outputs terminate the cone)."""
+    deps = dependency_graph(netlist)
+    find = netlist.find
+    start = find(net).id
+    seen = {start}
+    stack = [start]
+    while stack:
+        nid = stack.pop()
+        for p in deps.get(nid, ()):
+            if p not in seen:
+                seen.add(p)
+                stack.append(p)
+    seen.discard(start)
+    return {netlist.nets[nid].name for nid in seen}
+
+
+def register_paths(netlist: Netlist) -> dict[str, int]:
+    """For each register, the combinational depth feeding its data pin
+    (the per-register clock-period requirement in unit delays)."""
+    levels = logic_levels(netlist)
+    find = netlist.find
+    return {
+        reg.name or f"$reg{reg.id}": levels.get(find(reg.d).id, 0)
+        for reg in netlist.regs
+    }
+
+
+def summary(netlist: Netlist) -> dict[str, object]:
+    """A one-call report used by the CLI and the benchmarks."""
+    name, fo = max_fanout(netlist)
+    return {
+        **netlist.stats(),
+        "logic_depth": logic_depth(netlist),
+        "max_fanout_net": name,
+        "max_fanout": fo,
+    }

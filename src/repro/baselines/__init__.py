@@ -1,0 +1,30 @@
+"""Comparison baselines: a Bryant-style switch-level MOS simulator and an
+unchecked order-sensitive netlist interpreter (see DESIGN.md)."""
+
+from .switchlevel import (
+    SState,
+    SwitchCircuit,
+    SwitchSimulator,
+    Transistor,
+    build_ripple_adder,
+)
+from .transistorize import (
+    TransistorizeError,
+    TransistorizedDesign,
+    TransistorizedSimulator,
+    transistorize,
+)
+from .unchecked import UncheckedSimulator
+
+__all__ = [
+    "SState",
+    "TransistorizeError",
+    "TransistorizedDesign",
+    "TransistorizedSimulator",
+    "transistorize",
+    "SwitchCircuit",
+    "SwitchSimulator",
+    "Transistor",
+    "UncheckedSimulator",
+    "build_ripple_adder",
+]

@@ -1,0 +1,271 @@
+"""A switch-level MOS simulator baseline (Bryant 1981 style).
+
+The paper claims (section 1) that "the semantics of Zeus imply a
+simulator which is conceptually simpler than state-of-the-art
+switch-level circuit simulators".  To measure that, this module
+implements the kind of simulator Zeus is compared against: transistor
+networks with node states {0, 1, X}, signal strengths (driven inputs
+beat charged storage nodes), bidirectional conduction and relaxation to
+a fixpoint.
+
+The model (a faithful small subset of Bryant's):
+
+* nodes are ``input`` (externally forced: VDD, GND, primary inputs) or
+  ``storage`` (charge-retaining);
+* transistors conduct by gate value: NMOS on gate 1, PMOS on gate 0;
+  an X gate *may* conduct;
+* each evaluation step partitions nodes into components connected by
+  definitely-ON transistors, resolves each component to the strongest
+  driven value (conflict -> X), then re-partitions including maybe-ON
+  transistors -- if the optimistic and pessimistic results differ the
+  node goes to X;
+* steps repeat until a fixpoint (feedback needs iteration -- the
+  structural reason this is heavier than the Zeus dataflow pass).
+
+The work counters (``iterations``, ``component_scans``) feed experiment
+E10 of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class SState(Enum):
+    """Switch-level node value."""
+
+    ZERO = "0"
+    ONE = "1"
+    X = "X"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def _merge(values: set[SState]) -> SState:
+    if not values:
+        return SState.X
+    if len(values) == 1:
+        return next(iter(values))
+    return SState.X
+
+
+@dataclass
+class Transistor:
+    kind: str  # "n" or "p"
+    gate: int
+    a: int
+    b: int
+
+    def conduction(self, gate_value: SState) -> str:
+        """"on", "off" or "maybe" given the gate value."""
+        if gate_value is SState.X:
+            return "maybe"
+        on = (self.kind == "n") == (gate_value is SState.ONE)
+        return "on" if on else "off"
+
+
+@dataclass
+class SwitchCircuit:
+    """A transistor netlist with named nodes."""
+
+    names: list[str] = field(default_factory=list)
+    is_input: list[bool] = field(default_factory=list)
+    transistors: list[Transistor] = field(default_factory=list)
+    by_name: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.vdd = self.node("VDD", is_input=True)
+        self.gnd = self.node("GND", is_input=True)
+
+    def node(self, name: str, *, is_input: bool = False) -> int:
+        if name in self.by_name:
+            return self.by_name[name]
+        idx = len(self.names)
+        self.names.append(name)
+        self.is_input.append(is_input)
+        self.by_name[name] = idx
+        return idx
+
+    def nmos(self, gate: int, a: int, b: int) -> None:
+        self.transistors.append(Transistor("n", gate, a, b))
+
+    def pmos(self, gate: int, a: int, b: int) -> None:
+        self.transistors.append(Transistor("p", gate, a, b))
+
+    # -- standard CMOS cells -------------------------------------------------
+
+    def inverter(self, inp: int, out: int) -> None:
+        self.pmos(inp, self.vdd, out)
+        self.nmos(inp, self.gnd, out)
+
+    def nand2(self, a: int, b: int, out: int) -> None:
+        mid = self.node(f"$n{len(self.names)}")
+        self.pmos(a, self.vdd, out)
+        self.pmos(b, self.vdd, out)
+        self.nmos(a, out, mid)
+        self.nmos(b, mid, self.gnd)
+
+    def nor2(self, a: int, b: int, out: int) -> None:
+        mid = self.node(f"$n{len(self.names)}")
+        self.pmos(a, self.vdd, mid)
+        self.pmos(b, mid, out)
+        self.nmos(a, self.gnd, out)
+        self.nmos(b, self.gnd, out)
+
+    def and2(self, a: int, b: int, out: int) -> None:
+        t = self.node(f"$n{len(self.names)}")
+        self.nand2(a, b, t)
+        self.inverter(t, out)
+
+    def or2(self, a: int, b: int, out: int) -> None:
+        t = self.node(f"$n{len(self.names)}")
+        self.nor2(a, b, t)
+        self.inverter(t, out)
+
+    def xor2(self, a: int, b: int, out: int) -> None:
+        na = self.node(f"$n{len(self.names)}")
+        nb = self.node(f"$n{len(self.names)}")
+        t1 = self.node(f"$n{len(self.names)}")
+        t2 = self.node(f"$n{len(self.names)}")
+        self.inverter(a, na)
+        self.inverter(b, nb)
+        self.and2(a, nb, t1)
+        self.and2(na, b, t2)
+        self.or2(t1, t2, out)
+
+    @property
+    def transistor_count(self) -> int:
+        return len(self.transistors)
+
+
+class SwitchSimulator:
+    """Relaxation evaluation of a :class:`SwitchCircuit`."""
+
+    def __init__(self, circuit: SwitchCircuit, max_iterations: int = 200):
+        self.circuit = circuit
+        self.max_iterations = max_iterations
+        n = len(circuit.names)
+        self.values: list[SState] = [SState.X] * n
+        self.forced: dict[int, SState] = {
+            circuit.vdd: SState.ONE,
+            circuit.gnd: SState.ZERO,
+        }
+        # Work counters for the comparison experiment.
+        self.iterations = 0
+        self.component_scans = 0
+        self._retained: list[SState] = list(self.values)
+        self._adj: list[list[Transistor]] = [[] for _ in range(n)]
+        for t in circuit.transistors:
+            self._adj[t.a].append(t)
+            self._adj[t.b].append(t)
+
+    def poke(self, name: str, value: int | SState) -> None:
+        idx = self.circuit.by_name[name]
+        if not self.circuit.is_input[idx]:
+            raise ValueError(f"{name!r} is not an input node")
+        if isinstance(value, int):
+            value = SState.ONE if value else SState.ZERO
+        self.forced[idx] = value
+
+    def peek(self, name: str) -> SState:
+        return self.values[self.circuit.by_name[name]]
+
+    def settle(self) -> int:
+        """Evaluate to a fixpoint; returns the number of sweeps.
+
+        Charge retention references the node value at the *start* of the
+        settle call (the previous stable state): in the zero-delay ideal,
+        conduction states change atomically, so transient glitches during
+        relaxation must not stick to isolated (dynamic storage) nodes."""
+        for idx, v in self.forced.items():
+            self.values[idx] = v
+        self._retained = list(self.values)
+        for sweep in range(self.max_iterations):
+            self.iterations += 1
+            new = self._sweep()
+            if new == self.values:
+                return sweep + 1
+            self.values = new
+        return self.max_iterations
+
+    def _sweep(self) -> list[SState]:
+        values = self.values
+        new = list(values)
+        n = len(values)
+        for node in range(n):
+            if node in self.forced:
+                new[node] = self.forced[node]
+                continue
+            sure = self._component(node, values, include_maybe=False)
+            sure_driven = {
+                self.forced[m] for m in sure if m in self.forced
+            }
+            optimistic = _merge(sure_driven) if sure_driven else None
+            wide = self._component(node, values, include_maybe=True)
+            wide_driven = {self.forced[m] for m in wide if m in self.forced}
+            pessimistic = _merge(wide_driven) if wide_driven else None
+            if optimistic is None and pessimistic is None:
+                # Isolated: charge retention keeps the pre-settle value.
+                new[node] = self._retained[node]
+            elif optimistic == pessimistic and optimistic is not None:
+                new[node] = optimistic
+            elif optimistic is None:
+                # Only maybe-connected to drivers: X unless charge agrees.
+                new[node] = SState.X
+            else:
+                new[node] = SState.X if optimistic != pessimistic else optimistic
+        return new
+
+    def _component(
+        self, start: int, values: list[SState], *, include_maybe: bool
+    ) -> set[int]:
+        self.component_scans += 1
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for t in self._adj[node]:
+                mode = t.conduction(values[t.gate])
+                if mode == "off" or (mode == "maybe" and not include_maybe):
+                    continue
+                other = t.b if t.a == node else t.a
+                if other not in seen:
+                    seen.add(other)
+                    # A driven node clamps its region: record it as a
+                    # driver of the component but do not conduct through
+                    # it (its value is set by the source, not the path).
+                    if other not in self.forced:
+                        stack.append(other)
+        return seen
+
+
+def build_ripple_adder(width: int) -> tuple[SwitchCircuit, dict[str, list[str]]]:
+    """A CMOS ripple-carry adder (for the E10 comparison): returns the
+    circuit and the port name lists (a, b, s, plus cin/cout)."""
+    c = SwitchCircuit()
+    a = [c.node(f"a{i}", is_input=True) for i in range(width)]
+    b = [c.node(f"b{i}", is_input=True) for i in range(width)]
+    cin = c.node("cin", is_input=True)
+    s = [c.node(f"s{i}") for i in range(width)]
+    carry = cin
+    for i in range(width):
+        x1 = c.node(f"$x1_{i}")
+        c.xor2(a[i], b[i], x1)
+        c.xor2(x1, carry, s[i])
+        g1 = c.node(f"$g1_{i}")
+        g2 = c.node(f"$g2_{i}")
+        c.and2(a[i], b[i], g1)
+        c.and2(x1, carry, g2)
+        nxt = c.node(f"c{i + 1}")
+        c.or2(g1, g2, nxt)
+        carry = nxt
+    ports = {
+        "a": [f"a{i}" for i in range(width)],
+        "b": [f"b{i}" for i in range(width)],
+        "s": [f"s{i}" for i in range(width)],
+        "cin": ["cin"],
+        "cout": [f"c{width}"],
+    }
+    return c, ports

@@ -1,0 +1,275 @@
+"""Automatic translation of an elaborated Zeus design to transistors.
+
+This is the bridge the paper gestures at with its MOS-level extension:
+the *same* semantics graph, compiled to a CMOS transistor network and
+run on the switch-level baseline.  It both validates the gate-level
+semantics against an electrical model (co-simulation must agree) and
+makes the E10 comparison apples-to-apples: one design, two abstraction
+levels.
+
+Mapping:
+
+* gates -- standard CMOS cells (n-ary gates as 2-input trees; EQUAL as
+  per-bit XNOR + AND tree; RANDOM is rejected);
+* unconditional connections -- node aliasing (a wire);
+* IF-guarded connections -- **transmission gates** (nmos + pmos with the
+  inverted guard), the electrical reading of the paper's switch
+  statement (section 4.4);
+* guarded constant drivers -- transmission gates to the rails;
+* REG -- boundary: ``out`` pins become externally forced nodes (driven
+  from the register state each cycle), ``in`` pins are observed and
+  latched by the co-simulation wrapper.  Charge retention on a floating
+  ``in`` node naturally reproduces the "keeps its value" rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.elaborate import Design
+from ..core.netlist import Net
+from ..core.values import Logic
+from .switchlevel import SState, SwitchCircuit, SwitchSimulator
+
+
+class TransistorizeError(Exception):
+    """The design uses a feature with no transistor mapping (RANDOM)."""
+
+
+@dataclass
+class TransistorizedDesign:
+    circuit: SwitchCircuit
+    #: canonical Zeus net id -> switch node index
+    node_of: dict[int, int]
+    design: Design
+    stats: dict[str, int] = field(default_factory=dict)
+
+
+def transistorize(design: Design) -> TransistorizedDesign:
+    netlist = design.netlist
+    find = netlist.find
+    circuit = SwitchCircuit()
+    node_of: dict[int, int] = {}
+
+    def node(net: Net, *, is_input: bool = False) -> int:
+        canon = find(net)
+        if canon.id not in node_of:
+            node_of[canon.id] = circuit.node(canon.name, is_input=is_input)
+        return node_of[canon.id]
+
+    # Inputs and register outputs are externally forced.
+    for net in netlist.nets:
+        canon = find(net)
+        if canon.is_input:
+            node(canon, is_input=True)
+    for reg in netlist.regs:
+        node_of.setdefault(
+            find(reg.q).id, circuit.node(find(reg.q).name, is_input=True)
+        )
+
+    # Unconditional connections alias nodes: process first so gates and
+    # transmission gates attach to the merged node.
+    alias_parent: dict[int, int] = {}
+
+    def alias_find(idx: int) -> int:
+        while idx in alias_parent:
+            idx = alias_parent[idx]
+        return idx
+
+    unconditional = [c for c in netlist.unique_conns() if c.cond is None]
+    for conn in unconditional:
+        a = node(conn.src)
+        b = node(conn.dst)
+        ra, rb = alias_find(a), alias_find(b)
+        if ra != rb:
+            # Prefer keeping input nodes as representatives.
+            if circuit.is_input[rb] and not circuit.is_input[ra]:
+                ra, rb = rb, ra
+            alias_parent[rb] = ra
+
+    def resolved(net: Net) -> int:
+        return alias_find(node(net))
+
+    for cc in netlist.unique_const_conns():
+        rail = circuit.vdd if cc.value is Logic.ONE else circuit.gnd
+        if cc.value not in (Logic.ONE, Logic.ZERO):
+            raise TransistorizeError(
+                f"constant {cc.value} has no electrical mapping"
+            )
+        dst = resolved(cc.dst)
+        if cc.cond is None:
+            if circuit.is_input[dst]:
+                raise TransistorizeError(
+                    f"constant drive onto forced node {circuit.names[dst]}"
+                )
+            alias_parent[dst] = rail
+        else:
+            _transmission_gate(circuit, resolved(cc.cond), rail, dst)
+
+    # Guarded connections become transmission gates.
+    for conn in netlist.unique_conns():
+        if conn.cond is None:
+            continue
+        _transmission_gate(
+            circuit, resolved(conn.cond), resolved(conn.src), resolved(conn.dst)
+        )
+
+    # Gates.
+    for gate in netlist.gates:
+        ins = [resolved(i) for i in gate.inputs]
+        out = resolved(gate.output)
+        _build_gate(circuit, gate.op, ins, out)
+
+    tdesign = TransistorizedDesign(circuit, {}, design)
+    # Re-resolve the final node per canonical net (post aliasing).
+    for canon_id, idx in node_of.items():
+        tdesign.node_of[canon_id] = alias_find(idx)
+    tdesign.stats = {
+        "transistors": circuit.transistor_count,
+        "nodes": len(circuit.names),
+        "gates": len(netlist.gates),
+    }
+    return tdesign
+
+
+_INVERTER_CACHE_ATTR = "_zeus_not_cache"
+
+
+def _inverted(circuit: SwitchCircuit, src: int) -> int:
+    cache = getattr(circuit, _INVERTER_CACHE_ATTR, None)
+    if cache is None:
+        cache = {}
+        setattr(circuit, _INVERTER_CACHE_ATTR, cache)
+    if src not in cache:
+        out = circuit.node(f"$inv{len(circuit.names)}")
+        circuit.inverter(src, out)
+        cache[src] = out
+    return cache[src]
+
+
+def _transmission_gate(circuit: SwitchCircuit, guard: int, src: int, dst: int) -> None:
+    circuit.nmos(guard, src, dst)
+    circuit.pmos(_inverted(circuit, guard), src, dst)
+
+
+def _build_gate(circuit: SwitchCircuit, op: str, ins: list[int], out: int) -> None:
+    if op == "RANDOM":
+        raise TransistorizeError("RANDOM has no transistor mapping")
+    if op == "NOT":
+        circuit.inverter(ins[0], out)
+        return
+    if op == "EQUAL":
+        half = len(ins) // 2
+        bits = []
+        for a, b in zip(ins[:half], ins[half:]):
+            x = circuit.node(f"$xor{len(circuit.names)}")
+            circuit.xor2(a, b, x)
+            xn = circuit.node(f"$xnor{len(circuit.names)}")
+            circuit.inverter(x, xn)
+            bits.append(xn)
+        _reduce_tree(circuit, "and2", bits, out)
+        return
+    cell = {
+        "AND": "and2",
+        "OR": "or2",
+        "XOR": "xor2",
+        "NAND": "and2",
+        "NOR": "or2",
+    }[op]
+    if op in ("NAND", "NOR"):
+        inner = circuit.node(f"$pre{len(circuit.names)}")
+        _reduce_tree(circuit, cell, ins, inner)
+        circuit.inverter(inner, out)
+        return
+    _reduce_tree(circuit, cell, ins, out)
+
+
+def _reduce_tree(circuit: SwitchCircuit, cell: str, ins: list[int], out: int) -> None:
+    build = getattr(circuit, cell)
+    if len(ins) == 1:
+        # A one-input reduction is a buffer: two inverters.
+        mid = circuit.node(f"$buf{len(circuit.names)}")
+        circuit.inverter(ins[0], mid)
+        circuit.inverter(mid, out)
+        return
+    work = list(ins)
+    while len(work) > 2:
+        nxt = []
+        for i in range(0, len(work) - 1, 2):
+            t = circuit.node(f"$t{len(circuit.names)}")
+            build(work[i], work[i + 1], t)
+            nxt.append(t)
+        if len(work) % 2:
+            nxt.append(work[-1])
+        work = nxt
+    build(work[0], work[1], out)
+
+
+class TransistorizedSimulator:
+    """Cycle co-simulation wrapper: same poke/step/peek surface as the
+    Zeus simulator, evaluated on the transistor network."""
+
+    def __init__(self, design: Design, max_iterations: int = 400):
+        self.t = transistorize(design)
+        self.design = design
+        self.netlist = design.netlist
+        self.sim = SwitchSimulator(self.t.circuit, max_iterations=max_iterations)
+        self._reg_state: dict[int, SState] = {}
+        self.cycle = 0
+
+    # -- mapping helpers -----------------------------------------------------
+
+    def _nodes(self, path: str):
+        signals = self.netlist.signals
+        key = path if path in signals else f"{self.design.name}.{path}"
+        nets = signals[key]
+        find = self.netlist.find
+        return [self.t.node_of[find(n).id] for n in nets]
+
+    def poke(self, path: str, value) -> None:
+        from ..core.simulator import _coerce_bits
+
+        nodes = self._nodes(path)
+        for idx, bit in zip(nodes, _coerce_bits(value, len(nodes), path)):
+            self.sim.forced[idx] = _to_sstate(bit)
+
+    def peek(self, path: str) -> list[SState]:
+        return [self.sim.values[i] for i in self._nodes(path)]
+
+    def peek_int(self, path: str) -> int | None:
+        total = 0
+        for i, v in enumerate(self.peek(path)):
+            if v is SState.X:
+                return None
+            if v is SState.ONE:
+                total |= 1 << i
+        return total
+
+    # -- the cycle -------------------------------------------------------------
+
+    def step(self, cycles: int = 1) -> None:
+        find = self.netlist.find
+        for _ in range(cycles):
+            # Drive register outputs from the stored state.
+            for reg in self.netlist.regs:
+                qnode = self.t.node_of[find(reg.q).id]
+                self.sim.forced[qnode] = self._reg_state.get(qnode, SState.X)
+            self.sim.settle()
+            # Latch: read each register's data node.
+            for reg in self.netlist.regs:
+                dnode = self.t.node_of[find(reg.d).id]
+                qnode = self.t.node_of[find(reg.q).id]
+                self._reg_state[qnode] = self.sim.values[dnode]
+            self.cycle += 1
+
+    @property
+    def transistor_count(self) -> int:
+        return self.t.circuit.transistor_count
+
+
+def _to_sstate(bit: Logic) -> SState:
+    if bit is Logic.ONE:
+        return SState.ONE
+    if bit is Logic.ZERO:
+        return SState.ZERO
+    return SState.X

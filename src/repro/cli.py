@@ -1,0 +1,199 @@
+"""``zeusc`` -- the Zeus command-line driver.
+
+Subcommands:
+
+* ``check FILE``     -- parse, elaborate and run all static checks;
+* ``stats FILE``     -- netlist statistics after elaboration;
+* ``sim FILE``       -- simulate N cycles with optional pokes, print
+  the requested signals per cycle (or write a VCD);
+* ``layout FILE``    -- compute and print the floorplan;
+* ``analyze FILE``   -- logic depth, critical path, fan-out statistics;
+* ``dot FILE``       -- export the semantics graph as Graphviz DOT;
+* ``examples``       -- list the bundled paper programs (usable with
+  ``--builtin NAME`` instead of FILE everywhere).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import Circuit, ZeusError, compile_text
+from .core.trace import Trace
+from .stdlib import programs
+
+
+def _load(args: argparse.Namespace) -> Circuit:
+    if args.builtin:
+        try:
+            text = programs.ALL_PROGRAMS[args.builtin]
+        except KeyError:
+            raise SystemExit(
+                f"unknown builtin {args.builtin!r}; run 'zeusc examples'"
+            )
+        name = args.builtin
+    else:
+        if not args.file:
+            raise SystemExit("a FILE or --builtin NAME is required")
+        with open(args.file, "r", encoding="utf-8") as f:
+            text = f.read()
+        name = args.file
+    return compile_text(text, top=args.top, name=name, strict=not args.lenient)
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("file", nargs="?", help="Zeus source file")
+    p.add_argument("--builtin", help="use a bundled paper program instead")
+    p.add_argument("--top", help="top-level signal to instantiate")
+    p.add_argument(
+        "--lenient", action="store_true",
+        help="collect check errors instead of failing on the first",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="zeusc", description="Zeus HDL compiler/simulator (1983 reproduction)"
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("check", help="run all static checks")
+    _add_common(p)
+
+    p = sub.add_parser("stats", help="netlist statistics")
+    _add_common(p)
+
+    p = sub.add_parser("sim", help="simulate")
+    _add_common(p)
+    p.add_argument("--cycles", type=int, default=8)
+    p.add_argument(
+        "--poke", action="append", default=[],
+        metavar="SIG=VAL[@CYCLE]",
+        help="drive SIG with VAL (int) from CYCLE on (default cycle 0)",
+    )
+    p.add_argument(
+        "--watch", action="append", default=[], metavar="SIG",
+        help="signals to print per cycle (default: all ports)",
+    )
+    p.add_argument("--vcd", help="write a VCD file of the watched signals")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("layout", help="compute the floorplan")
+    _add_common(p)
+    p.add_argument("--svg", help="write the floorplan as SVG")
+
+    p = sub.add_parser("analyze", help="netlist analysis report")
+    _add_common(p)
+    p.add_argument("--cone", metavar="SIG",
+                   help="print the cone of influence of a signal")
+
+    p = sub.add_parser("dot", help="export the semantics graph as DOT")
+    _add_common(p)
+    p.add_argument("-o", "--output", help="output file (default: stdout)")
+    p.add_argument("--no-synthetic", action="store_true",
+                   help="hide elaborator-synthesized helper nets")
+
+    sub.add_parser("examples", help="list bundled paper programs")
+
+    args = parser.parse_args(argv)
+
+    if args.cmd == "examples":
+        for name in sorted(programs.ALL_PROGRAMS):
+            print(name)
+        return 0
+
+    try:
+        circuit = _load(args)
+    except ZeusError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.cmd == "check":
+        for diag in circuit.diagnostics.diagnostics:
+            print(diag.render(circuit.design.source))
+        errors = len(circuit.diagnostics.errors)
+        print(f"{circuit.name}: {errors} error(s), "
+              f"{len(circuit.diagnostics.warnings)} warning(s)")
+        return 1 if errors else 0
+
+    if args.cmd == "stats":
+        print(circuit.netlist.describe())
+        for port in circuit.netlist.ports:
+            print(f"  {port.mode:>5} {port.name} [{len(port.nets)} bits]")
+        return 0
+
+    if args.cmd == "layout":
+        plan = circuit.layout()
+        print(f"{circuit.name}: {plan.width} x {plan.height} "
+              f"(area {plan.area}, {plan.leaf_count()} cells)")
+        print(plan.render_text())
+        if args.svg:
+            with open(args.svg, "w", encoding="utf-8") as f:
+                f.write(plan.render_svg())
+            print(f"wrote {args.svg}")
+        return 0
+
+    if args.cmd == "analyze":
+        from .analysis import cone_of_influence, critical_path, summary
+
+        info = summary(circuit.netlist)
+        for key, value in info.items():
+            print(f"{key:>16}: {value}")
+        path = critical_path(circuit.netlist)
+        named = [p for p in path if not p.split(".")[-1].startswith("$")]
+        print(f"{'critical path':>16}: " + " -> ".join(named))
+        if args.cone:
+            nets = circuit.netlist.signals.get(args.cone)
+            if nets is None:
+                nets = circuit.netlist.signals.get(f"{circuit.name}.{args.cone}")
+            if not nets:
+                print(f"error: unknown signal {args.cone!r}", file=sys.stderr)
+                return 1
+            cone = sorted(cone_of_influence(circuit.netlist, nets[0]))
+            named = [c for c in cone if not c.split(".")[-1].startswith("$")]
+            print(f"{'cone of ' + args.cone:>16}: {', '.join(named)}")
+        return 0
+
+    if args.cmd == "dot":
+        from .analysis import to_dot
+
+        text = to_dot(circuit.netlist, include_synthetic=not args.no_synthetic)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as f:
+                f.write(text)
+            print(f"wrote {args.output}")
+        else:
+            print(text, end="")
+        return 0
+
+    # sim
+    sim = circuit.simulator(seed=args.seed, strict=not args.lenient)
+    pokes: list[tuple[int, str, int]] = []
+    for spec in args.poke:
+        sig, _, val = spec.partition("=")
+        cycle = 0
+        if "@" in val:
+            val, _, cyc = val.partition("@")
+            cycle = int(cyc)
+        pokes.append((cycle, sig, int(val, 0)))
+    watch = args.watch or [p.name for p in circuit.netlist.ports]
+    trace = Trace(watch)
+    sim.attach_trace(trace)
+    for t in range(args.cycles):
+        for cycle, sig, val in pokes:
+            if cycle == t:
+                sim.poke(sig, val)
+        sim.step()
+    print(trace.render_ascii())
+    if sim.violations:
+        print(f"{len(sim.violations)} runtime violation(s):")
+        for v in sim.violations:
+            print(f"  {v}")
+    if args.vcd:
+        trace.write_vcd(args.vcd, circuit.name)
+        print(f"wrote {args.vcd}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,316 @@
+"""Graph-level static checks (paper sections 1, 4.5, 4.7, 8).
+
+Run after elaboration, these enforce the rules that need the whole
+semantics graph:
+
+* **acyclicity** -- "we disallow feedback loops which do not lead through
+  registers" (section 1); REG is the only cycle breaker;
+* **assignment counting** (section 4.7): at most one unconditional
+  assignment per basic signal; never both conditional and unconditional;
+  conditional assignment to a *boolean* signal only under exception 1
+  (an IN pin of an instantiated component or a formal OUT parameter);
+* **aliasing** interaction: a boolean signal aliased with ``==`` must not
+  also be unconditionally assigned with ``:=`` (section 4.1);
+* **unused ports** (section 4.1): every pin of a partially connected
+  instance must be used, assigned, or explicitly closed with ``*``;
+* **SEQUENTIAL consistency** (section 4.5): a user-specified execution
+  order must be compatible with the dataflow order;
+* undriven-signal warnings (the signal will read UNDEF).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+
+from ..lang.errors import CheckError, DiagnosticSink
+from ..lang.source import NO_SPAN
+from .elaborate import Design
+from .netlist import Net, Netlist
+from .types import BOOLEAN
+
+
+@dataclass
+class _NetFacts:
+    uncond: int = 0
+    cond: int = 0
+    has_uncond_conn: bool = False  # a ':=' (not const) unconditional driver
+
+
+def dependency_graph(netlist: Netlist) -> dict[int, set[int]]:
+    """Combinational dependency edges over canonical net ids:
+    ``deps[dst]`` is the set of canonical nets *dst* depends on.
+    Gate outputs depend on gate inputs; connection targets depend on the
+    source and the guard; REG introduces no edges."""
+    deps: dict[int, set[int]] = defaultdict(set)
+    find = netlist.find
+    for gate in netlist.gates:
+        out = find(gate.output).id
+        for inp in gate.inputs:
+            deps[out].add(find(inp).id)
+    for conn in netlist.conns:
+        dst = find(conn.dst).id
+        deps[dst].add(find(conn.src).id)
+        if conn.cond is not None:
+            deps[dst].add(find(conn.cond).id)
+    for cc in netlist.const_conns:
+        if cc.cond is not None:
+            deps[find(cc.dst).id].add(find(cc.cond).id)
+    return deps
+
+
+def topological_order(netlist: Netlist) -> list[int]:
+    """Kahn topological order of canonical net ids; raises
+    :class:`CheckError` naming a cycle if one exists."""
+    deps = dependency_graph(netlist)
+    canon_ids = {netlist.find(n).id for n in netlist.nets}
+    indegree = {nid: 0 for nid in canon_ids}
+    fanout: dict[int, list[int]] = defaultdict(list)
+    for dst, srcs in deps.items():
+        for src in srcs:
+            fanout[src].append(dst)
+            indegree[dst] += 1
+    queue = deque(nid for nid, deg in indegree.items() if deg == 0)
+    order: list[int] = []
+    while queue:
+        nid = queue.popleft()
+        order.append(nid)
+        for nxt in fanout[nid]:
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                queue.append(nxt)
+    if len(order) != len(canon_ids):
+        cycle = _find_cycle(deps, {nid for nid, d in indegree.items() if d > 0})
+        names = " -> ".join(netlist.nets[nid].name for nid in cycle)
+        raise CheckError(
+            f"combinational feedback loop (not through a register): {names}"
+        )
+    return order
+
+
+def _find_cycle(deps: dict[int, set[int]], remaining: set[int]) -> list[int]:
+    start = next(iter(remaining))
+    path: list[int] = []
+    seen: dict[int, int] = {}
+    node = start
+    while node not in seen:
+        seen[node] = len(path)
+        path.append(node)
+        nxt = [d for d in deps.get(node, ()) if d in remaining]
+        if not nxt:
+            # Restart from another stuck node (shouldn't happen: every
+            # remaining node has a remaining predecessor).
+            remaining = remaining - set(path)
+            if not remaining:
+                return path
+            node = next(iter(remaining))
+            path.clear()
+            seen.clear()
+            continue
+        node = nxt[0]
+    return path[seen[node] :] + [node]
+
+
+class Checker:
+    """Runs all graph checks over one elaborated design."""
+
+    def __init__(self, design: Design):
+        self.design = design
+        self.netlist = design.netlist
+        self.sink = DiagnosticSink(source=design.source)
+
+    def run(self) -> DiagnosticSink:
+        self.check_acyclic()
+        self.check_assignment_rules()
+        self.check_unused_ports()
+        self.check_sequential_constraints()
+        self.warn_undriven()
+        return self.sink
+
+    # -- acyclicity -----------------------------------------------------
+
+    def check_acyclic(self) -> None:
+        try:
+            topological_order(self.netlist)
+        except CheckError as exc:
+            self.sink.error(str(exc), exc.span, phase="check")
+
+    # -- section 4.7 counting rules ---------------------------------------
+
+    def _net_facts(self) -> dict[int, _NetFacts]:
+        find = self.netlist.find
+        facts: dict[int, _NetFacts] = defaultdict(_NetFacts)
+        for conn in self.netlist.unique_conns():
+            f = facts[find(conn.dst).id]
+            if conn.cond is None:
+                f.uncond += 1
+                f.has_uncond_conn = True
+            else:
+                f.cond += 1
+        for cc in self.netlist.unique_const_conns():
+            f = facts[find(cc.dst).id]
+            if cc.cond is None:
+                f.uncond += 1
+            else:
+                f.cond += 1
+        return facts
+
+    def check_assignment_rules(self) -> None:
+        find = self.netlist.find
+        facts = self._net_facts()
+        # Aggregate per-class membership to evaluate the aliasing rules.
+        classes: dict[int, list[Net]] = defaultdict(list)
+        for net in self.netlist.nets:
+            classes[find(net).id].append(net)
+        for canon_id, f in facts.items():
+            canon = self.netlist.nets[canon_id]
+            members = classes[canon_id]
+            display = min((m.name for m in members if not m.name.startswith("$")),
+                          default=canon.name)
+            if f.uncond > 1:
+                self.sink.error(
+                    f"signal {display!r} has {f.uncond} unconditional "
+                    "assignments (exactly one is allowed; this could connect "
+                    "power to ground)",
+                    canon.span,
+                    phase="check",
+                )
+            if f.uncond >= 1 and f.cond >= 1:
+                self.sink.error(
+                    f"signal {display!r} is assigned both conditionally and "
+                    "unconditionally (section 4.7)",
+                    canon.span,
+                    phase="check",
+                )
+            if f.cond >= 1:
+                self._check_conditional_boolean(members, display)
+            if len(members) > 1 and f.has_uncond_conn:
+                booleans = [m for m in members if m.kind == BOOLEAN]
+                if booleans:
+                    self.sink.error(
+                        f"boolean signal {display!r} is aliased with == and "
+                        "also unconditionally assigned with := (section 4.1)",
+                        canon.span,
+                        phase="check",
+                    )
+
+    def _check_conditional_boolean(self, members: list[Net], display: str) -> None:
+        """Conditional assignment reaches this alias class: every boolean
+        member must fall under exception 1 of the type rules."""
+        for m in members:
+            if m.kind != BOOLEAN:
+                continue
+            if m.role in ("pin_in", "pin_out"):
+                continue  # exception 1 (incl. formal OUT seen from inside)
+            if m.role == "gate":
+                continue  # implicit nets synthesized by the elaborator
+            if m.name.startswith("$"):
+                continue  # NUM-mux and other synthesized helper nets
+            self.sink.error(
+                f"conditional assignment to boolean signal {display!r} "
+                f"({m.name}); it must be of type multiplex, or be an IN pin "
+                "of an instantiated component or a formal OUT parameter "
+                "(type rules (1), section 4.7)",
+                m.span,
+                phase="check",
+            )
+
+    # -- unused ports -------------------------------------------------------
+
+    def check_unused_ports(self) -> None:
+        pins_of: dict[int, list[Net]] = defaultdict(list)
+        instances = {id(inst): inst for inst in self.design.instances}
+        for net_id, inst in self.design.pin_owner.items():
+            pins_of[id(inst)].append(self.netlist.nets[net_id])
+        for key, inst in instances.items():
+            pins = pins_of.get(key, [])
+            if not pins or not inst.touched:
+                continue  # completely disconnected components are legal
+            missing = [p for p in pins if p.id not in inst.touched]
+            for pin in missing:
+                self.sink.error(
+                    f"port {pin.name!r} of instance {inst.path!r} is neither "
+                    "used nor assigned; close it explicitly with '*' "
+                    "(section 4.1)",
+                    pin.span,
+                    phase="check",
+                )
+
+    # -- SEQUENTIAL consistency ------------------------------------------
+
+    def check_sequential_constraints(self) -> None:
+        if not self.design.seq_constraints:
+            return
+        deps = dependency_graph(self.netlist)
+        find = self.netlist.find
+        for earlier, later in self.design.seq_constraints:
+            earlier_ids = {find(n).id for n in earlier}
+            later_ids = {find(n).id for n in later}
+            # The user claims `earlier` is computed before `later`: then no
+            # earlier target may (combinationally) depend on a later target.
+            hit = self._reaches(deps, earlier_ids, later_ids)
+            if hit is not None:
+                a, b = hit
+                self.sink.error(
+                    f"SEQUENTIAL order incompatible with the dataflow order: "
+                    f"{self.netlist.nets[a].name!r} (earlier statement) "
+                    f"depends on {self.netlist.nets[b].name!r} (later "
+                    "statement)",
+                    phase="check",
+                )
+
+    @staticmethod
+    def _reaches(
+        deps: dict[int, set[int]], from_ids: set[int], targets: set[int]
+    ) -> tuple[int, int] | None:
+        """Is any of *targets* reachable (via deps) from any of *from_ids*?
+        Returns a witness (start, target) or None."""
+        for start in from_ids:
+            seen = {start}
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for dep in deps.get(node, ()):
+                    if dep in targets:
+                        return (start, dep)
+                    if dep not in seen:
+                        seen.add(dep)
+                        stack.append(dep)
+        return None
+
+    # -- warnings -----------------------------------------------------------
+
+    def warn_undriven(self) -> None:
+        find = self.netlist.find
+        driven = {find(c.dst).id for c in self.netlist.conns}
+        driven |= {find(c.dst).id for c in self.netlist.const_conns}
+        driven |= {find(g.output).id for g in self.netlist.gates}
+        driven |= {find(r.q).id for r in self.netlist.regs}
+        read: set[int] = set()
+        for g in self.netlist.gates:
+            read |= {find(i).id for i in g.inputs}
+        for c in self.netlist.conns:
+            read.add(find(c.src).id)
+            if c.cond is not None:
+                read.add(find(c.cond).id)
+        for r in self.netlist.regs:
+            read.add(find(r.d).id)
+        inputs = {find(n).id for n in self.netlist.nets if n.is_input}
+        for nid in sorted(read - driven - inputs):
+            net = self.netlist.nets[nid]
+            self.sink.warning(
+                f"signal {net.name!r} is read but never assigned; it will be "
+                f"{'NOINFL' if net.kind != BOOLEAN else 'UNDEF'}",
+                net.span,
+                phase="check",
+            )
+
+
+def check(design: Design, strict: bool = True) -> DiagnosticSink:
+    """Run all static checks; raise :class:`CheckError` on the first
+    error when *strict*."""
+    sink = Checker(design).run()
+    if strict and sink.has_errors():
+        first = sink.errors[0]
+        raise CheckError(first.message, first.span)
+    return sink

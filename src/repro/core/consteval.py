@@ -1,0 +1,218 @@
+"""Compile-time constant expression evaluation (sections 3.1 and 4.2).
+
+Zeus adopts the Modula-2 syntax for numerical constant expressions; they
+drive the meta language: replication bounds, WHEN conditions, type
+parameters and array bounds.  Two value species exist:
+
+* numbers (Python ``int``; relations/odd produce ``bool``, a subtype);
+* signal constants -- nested tuples of :class:`~repro.core.values.Logic`
+  (``(0,1)``, ``((0,1),(1,0))``, ``BIN(10,5)``...).
+
+``DIV``/``MOD`` follow Modula-2 (floor division with the divisor's sign
+rules reduced to the non-negative cases that matter here: we use floor
+semantics and reject division by zero).  The predefined constant
+functions are ``min``, ``max`` and ``odd`` (section 7 appendix).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+from ..lang import ast
+from ..lang.errors import ElaborationError
+from .symbols import ConstBinding, Env, LoopVar
+from .values import Logic, bits_of
+
+#: A structured signal constant: Logic at the leaves, tuples above.
+ConstTree = Union[Logic, tuple]
+
+
+def is_signal_const(value: Any) -> bool:
+    return isinstance(value, (Logic, tuple))
+
+
+def const_width(value: ConstTree) -> int:
+    """Number of basic substructures of a signal constant."""
+    if isinstance(value, Logic):
+        return 1
+    return sum(const_width(v) for v in value)
+
+
+def const_leaves(value: ConstTree) -> list[Logic]:
+    if isinstance(value, Logic):
+        return [value]
+    out: list[Logic] = []
+    for item in value:
+        out.extend(const_leaves(item))
+    return out
+
+
+def eval_const(expr: ast.Expr, env: Env) -> Any:
+    """Evaluate a constant expression to an int/bool or a ConstTree."""
+    if isinstance(expr, ast.NumberLit):
+        return expr.value
+    if isinstance(expr, ast.LogicLit):
+        return Logic.from_name(expr.value)
+    if isinstance(expr, ast.Name):
+        return _eval_name(expr, env)
+    if isinstance(expr, ast.Tuple_):
+        return tuple(_to_const_tree(eval_const(item, env), item) for item in expr.items)
+    if isinstance(expr, ast.BinCall):
+        value = eval_int(expr.value, env)
+        width = eval_int(expr.width, env)
+        try:
+            return tuple(bits_of(value, width))
+        except ValueError as exc:
+            raise ElaborationError(str(exc), expr.span) from None
+    if isinstance(expr, ast.Unary):
+        return _eval_unary(expr, env)
+    if isinstance(expr, ast.Binary):
+        return _eval_binary(expr, env)
+    if isinstance(expr, ast.Call):
+        return _eval_call(expr, env)
+    raise ElaborationError(
+        f"not a constant expression: {type(expr).__name__}", expr.span
+    )
+
+
+def eval_int(expr: ast.Expr, env: Env) -> int:
+    """Evaluate a constant expression that must yield a number."""
+    value = eval_const(expr, env)
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int) and not isinstance(value, Logic):
+        return value
+    raise ElaborationError("numeric constant expression required", expr.span)
+
+
+def eval_condition(expr: ast.Expr, env: Env) -> bool:
+    """Evaluate a WHEN condition: any non-zero number counts as true."""
+    return eval_int(expr, env) != 0
+
+
+def _eval_name(expr: ast.Name, env: Env) -> Any:
+    binding = env.lookup(expr.ident, expr.span)
+    if isinstance(binding, LoopVar):
+        return binding.value
+    if isinstance(binding, ConstBinding):
+        return binding.value
+    raise ElaborationError(
+        f"{expr.ident!r} is not a constant in this context", expr.span
+    )
+
+
+def _to_const_tree(value: Any, expr: ast.Expr) -> ConstTree:
+    """Interpret a constant value as part of a signal constant: the
+    literals 0 and 1 become logic values inside tuples (section 3.1)."""
+    if isinstance(value, Logic):
+        return value
+    if isinstance(value, tuple):
+        return value
+    if isinstance(value, bool):
+        value = int(value)
+    if value in (0, 1):
+        return Logic.from_bit(value)
+    raise ElaborationError(
+        f"number {value} is not a basic signal constant (only 0 and 1 are)",
+        expr.span,
+    )
+
+
+def _eval_unary(expr: ast.Unary, env: Env) -> Any:
+    value = eval_const(expr.operand, env)
+    if expr.op == "-":
+        if isinstance(value, int) and not isinstance(value, Logic):
+            return -value
+        raise ElaborationError("unary '-' needs a number", expr.span)
+    if expr.op == "+":
+        return value
+    if expr.op == "NOT":
+        return not _as_bool(value, expr.operand)
+    raise ElaborationError(f"unknown unary operator {expr.op!r}", expr.span)
+
+
+def _eval_binary(expr: ast.Binary, env: Env) -> Any:
+    op = expr.op
+    if op in ("AND", "OR"):
+        left = _as_bool(eval_const(expr.left, env), expr.left)
+        # Modula-2 short-circuit semantics.
+        if op == "AND":
+            return left and _as_bool(eval_const(expr.right, env), expr.right)
+        return left or _as_bool(eval_const(expr.right, env), expr.right)
+    left = eval_const(expr.left, env)
+    right = eval_const(expr.right, env)
+    if op in ("=", "<>") and (is_signal_const(left) or is_signal_const(right)):
+        equal = const_leaves(_as_tree(left, expr.left)) == const_leaves(
+            _as_tree(right, expr.right)
+        )
+        return equal if op == "=" else not equal
+    lnum = _as_int(left, expr.left)
+    rnum = _as_int(right, expr.right)
+    if op == "+":
+        return lnum + rnum
+    if op == "-":
+        return lnum - rnum
+    if op == "*":
+        return lnum * rnum
+    if op == "DIV":
+        if rnum == 0:
+            raise ElaborationError("DIV by zero in constant expression", expr.span)
+        return lnum // rnum
+    if op == "MOD":
+        if rnum == 0:
+            raise ElaborationError("MOD by zero in constant expression", expr.span)
+        return lnum % rnum
+    if op == "=":
+        return lnum == rnum
+    if op == "<>":
+        return lnum != rnum
+    if op == "<":
+        return lnum < rnum
+    if op == "<=":
+        return lnum <= rnum
+    if op == ">":
+        return lnum > rnum
+    if op == ">=":
+        return lnum >= rnum
+    raise ElaborationError(f"unknown operator {op!r}", expr.span)
+
+
+def _eval_call(expr: ast.Call, env: Env) -> Any:
+    if not isinstance(expr.func, ast.Name):
+        raise ElaborationError("constant function name expected", expr.span)
+    name = expr.func.ident
+    args = [eval_const(a, env) for a in expr.args]
+    if name == "min":
+        return min(_as_int(a, expr) for a in args)
+    if name == "max":
+        return max(_as_int(a, expr) for a in args)
+    if name == "odd":
+        if len(args) != 1:
+            raise ElaborationError("odd takes one argument", expr.span)
+        return _as_int(args[0], expr) % 2 != 0
+    raise ElaborationError(
+        f"{name!r} is not a predefined constant function (min, max, odd)",
+        expr.span,
+    )
+
+
+def _as_int(value: Any, expr: ast.Expr) -> int:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int) and not isinstance(value, Logic):
+        return value
+    raise ElaborationError("number expected in constant expression", expr.span)
+
+
+def _as_bool(value: Any, expr: ast.Expr) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int) and not isinstance(value, Logic):
+        return value != 0
+    raise ElaborationError("boolean constant expected", expr.span)
+
+
+def _as_tree(value: Any, expr: ast.Expr) -> ConstTree:
+    if is_signal_const(value):
+        return value  # type: ignore[return-value]
+    return _to_const_tree(value, expr)

@@ -1,0 +1,515 @@
+"""The Zeus simulator: dataflow firing rules over the semantics graph
+(paper section 8) plus the synchronous REG/CLK model (section 5).
+
+One **clock cycle** re-evaluates every signal:
+
+1. registers fire their stored value on the ``out`` pin, primary inputs
+   fire their poked values, constants fire, RANDOM sources fire;
+2. values propagate by the firing rules: a gate node fires as soon as its
+   output is determined (AND fires 0 on the first 0 input); a boolean
+   signal fires as soon as one driving value (0, 1, UNDEF) reaches it;
+   a multiplex signal fires once *all* incoming edges have contributed,
+   resolving NOINFL < {0, 1, UNDEF};
+3. at the cycle end every REG latches: a driving value on ``in`` is
+   stored; NOINFL (no active assignment this cycle) keeps the old value
+   ("if *in* is not changed during a clock cycle, it keeps its value").
+
+The runtime safety rule ("the simulator checks that at most one
+(0,1,UNDEF)-assignment takes place at runtime") raises
+:class:`~repro.lang.errors.SimulationError` in strict mode and records a
+violation otherwise.
+
+Class values are kept in the raw multiplex domain; consumption converts:
+gate inputs and boolean ``peek`` results map NOINFL to UNDEF (the
+implicit amplifier of section 3.2), REG latching maps NOINFL to "keep".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+from ..lang.errors import SimulationError
+from .elaborate import Design
+from .netlist import Gate, Net
+from .types import BOOLEAN
+from .values import Logic
+
+PokeValue = Union[Logic, int, str, Sequence[Union[Logic, int, str]]]
+
+
+@dataclass
+class Violation:
+    """A recorded runtime rule violation (lenient mode)."""
+
+    cycle: int
+    net: str
+    values: list[Logic]
+
+    def __str__(self) -> str:
+        vals = ", ".join(str(v) for v in self.values)
+        return f"cycle {self.cycle}: signal {self.net!r} driven by [{vals}]"
+
+
+class _Driver:
+    __slots__ = ("cond", "src", "const", "dst")
+
+    def __init__(self, dst: int, cond: int | None, src: int | None, const: Logic | None):
+        self.dst = dst
+        self.cond = cond
+        self.src = src
+        self.const = const
+
+
+class Simulator:
+    """Cycle-based simulator for an elaborated (and ideally checked)
+    :class:`~repro.core.elaborate.Design`."""
+
+    def __init__(
+        self,
+        design: Design,
+        *,
+        strict: bool = True,
+        seed: int = 0,
+        record_firing: bool = False,
+    ):
+        self.design = design
+        self.netlist = design.netlist
+        self.strict = strict
+        self.rng = random.Random(seed)
+        self.record_firing = record_firing
+        self.firing_log: list[tuple[str, Logic]] = []
+        self.violations: list[Violation] = []
+        self.cycle = 0
+
+        find = self.netlist.find
+        nets = self.netlist.nets
+        self._canon = [find(n).id for n in nets]
+        canon_ids = sorted(set(self._canon))
+        self._index = {cid: i for i, cid in enumerate(canon_ids)}
+        self._canon_ids = canon_ids
+        n = len(canon_ids)
+
+        # Class metadata.
+        self._members: list[list[Net]] = [[] for _ in range(n)]
+        for net in nets:
+            self._members[self._index[self._canon[net.id]]].append(net)
+        self._display = [
+            min(
+                (m.name for m in ms if not m.name.startswith("$")),
+                default=ms[0].name,
+            )
+            for ms in self._members
+        ]
+        self._is_boolean = [all(m.kind == BOOLEAN for m in ms) for ms in self._members]
+        self._is_input = [any(m.is_input for m in ms) for ms in self._members]
+
+        # Drivers.
+        self._drivers: list[_Driver] = []
+        self._drivers_of: list[list[int]] = [[] for _ in range(n)]
+        self._cond_watch: dict[int, list[int]] = {}
+        self._src_watch: dict[int, list[int]] = {}
+        for conn in self.netlist.unique_conns():
+            self._add_driver(
+                self._idx(conn.dst),
+                self._idx(conn.cond) if conn.cond is not None else None,
+                self._idx(conn.src),
+                None,
+            )
+        for cc in self.netlist.unique_const_conns():
+            self._add_driver(
+                self._idx(cc.dst),
+                self._idx(cc.cond) if cc.cond is not None else None,
+                None,
+                cc.value,
+            )
+
+        # Gates.
+        self._gates: list[Gate] = self.netlist.gates
+        self._gate_out = [self._idx(g.output) for g in self._gates]
+        self._gate_in = [[self._idx(i) for i in g.inputs] for g in self._gates]
+        self._gate_watch: dict[int, list[int]] = {}
+        for gi, ins in enumerate(self._gate_in):
+            for i in ins:
+                self._gate_watch.setdefault(i, []).append(gi)
+
+        # Registers.
+        self._reg_d = [self._idx(r.d) for r in self.netlist.regs]
+        self._reg_q = [self._idx(r.q) for r in self.netlist.regs]
+        self._reg_state: list[Logic] = [Logic.UNDEF] * len(self.netlist.regs)
+        reg_q_set = set(self._reg_q)
+        self._is_reg_q = [i in reg_q_set for i in range(n)]
+
+        # Free nets: no drivers, not an input, not a reg output, not a
+        # gate output -- they fire a default at cycle start.
+        gate_out_set = set(self._gate_out)
+        self._free = [
+            i
+            for i in range(n)
+            if not self._drivers_of[i]
+            and not self._is_input[i]
+            and not self._is_reg_q[i]
+            and i not in gate_out_set
+        ]
+
+        self._pokes: dict[int, Logic] = {}
+        self.values: list[Logic | None] = [None] * n
+        self._traces: list = []
+
+    # -- construction helpers ------------------------------------------------
+
+    def _idx(self, net: Net) -> int:
+        return self._index[self._canon[net.id]]
+
+    def _add_driver(
+        self, dst: int, cond: int | None, src: int | None, const: Logic | None
+    ) -> None:
+        di = len(self._drivers)
+        self._drivers.append(_Driver(dst, cond, src, const))
+        self._drivers_of[dst].append(di)
+        if cond is not None:
+            self._cond_watch.setdefault(cond, []).append(di)
+        if src is not None:
+            self._src_watch.setdefault(src, []).append(di)
+
+    # -- path resolution ------------------------------------------------------
+
+    def nets_of(self, path: str) -> list[Net]:
+        """Resolve a hierarchical signal path to its flattened nets.
+
+        Accepts full paths (``adder.a``), top-relative paths (``a``), and
+        a trailing ``[i]`` element selection on a registered array."""
+        signals = self.netlist.signals
+        if path in signals:
+            return signals[path]
+        qualified = f"{self.design.name}.{path}"
+        if qualified in signals:
+            return signals[qualified]
+        for candidate in (path, qualified):
+            if "[" in candidate and candidate.endswith("]"):
+                base, _, idx = candidate.rpartition("[")
+                if base in signals:
+                    try:
+                        i = int(idx[:-1])
+                    except ValueError:
+                        continue
+                    element = f"{base}[{i}]"
+                    if element in signals:
+                        return signals[element]
+            # Mapped field access over an array of components: the paper's
+            # abbreviation rule (``state.out`` == ``state[1..n].out``).
+            if "." in candidate:
+                base, _, field = candidate.rpartition(".")
+                import re as _re
+
+                pat = _re.compile(
+                    _re.escape(base) + r"\[(-?\d+)\]\." + _re.escape(field) + "$"
+                )
+                hits: list[tuple[int, list[Net]]] = []
+                for key, nets in signals.items():
+                    m = pat.match(key)
+                    if m:
+                        hits.append((int(m.group(1)), nets))
+                if hits:
+                    hits.sort()
+                    return [n for _, nets in hits for n in nets]
+        raise KeyError(f"unknown signal path {path!r}")
+
+    # -- poking and peeking ---------------------------------------------------
+
+    def poke(self, path: str, value: PokeValue) -> None:
+        """Set a primary input (or INOUT pin) for the coming cycles.
+
+        Accepts a Logic value, 0/1, "UNDEF"/"NOINFL", a bit list (index 1
+        = LSB first, matching BIN), or an int for multi-bit signals."""
+        nets = self.nets_of(path)
+        bits = _coerce_bits(value, len(nets), path)
+        for net, bit in zip(nets, bits):
+            self._pokes[self._idx(net)] = bit
+
+    def unpoke(self, path: str) -> None:
+        """Release a poked signal (it will default again)."""
+        for net in self.nets_of(path):
+            self._pokes.pop(self._idx(net), None)
+
+    def peek(self, path: str) -> list[Logic]:
+        """Read current values (boolean signals convert NOINFL to UNDEF)."""
+        out: list[Logic] = []
+        for net in self.nets_of(path):
+            i = self._idx(net)
+            v = self.values[i]
+            if v is None:
+                v = Logic.UNDEF
+            if net.kind == BOOLEAN:
+                v = v.to_boolean()
+            out.append(v)
+        return out
+
+    def peek_bit(self, path: str) -> Logic:
+        bits = self.peek(path)
+        if len(bits) != 1:
+            raise KeyError(f"{path!r} is {len(bits)} bits wide, not 1")
+        return bits[0]
+
+    def peek_int(self, path: str) -> int | None:
+        """Numeric value (NUM convention: element 1 is the LSB), or None
+        when any bit is undefined."""
+        from .values import num_of
+
+        return num_of(self.peek(path))
+
+    # -- the cycle ------------------------------------------------------------
+
+    def step(self, cycles: int = 1) -> None:
+        """Run *cycles* full clock cycles (evaluate + latch)."""
+        for _ in range(cycles):
+            self.evaluate()
+            self._latch()
+            for trace in self._traces:
+                trace.sample(self)
+            self.cycle += 1
+
+    def evaluate(self) -> None:
+        """One combinational evaluation pass (no latching)."""
+        n = len(self._canon_ids)
+        self.values = [None] * n
+        self._contrib_count = [0] * n
+        self._driving: list[Logic | None] = [None] * n
+        self._conflicted = [False] * n
+        self._maybe_count = [0] * n
+        self._driver_done = [False] * len(self._drivers)
+        self._gate_done = [False] * len(self._gates)
+        self._extra_driver = [0] * n
+        self._queue: list[int] = []
+
+        # Poked inputs count as one extra driver on their class.
+        for i, v in self._pokes.items():
+            self._extra_driver[i] = 1
+
+        # Initial firings.
+        for i in self._free:
+            self._fire(i, Logic.NOINFL)
+        for i in range(n):
+            if self._is_input[i] and not self._drivers_of[i]:
+                self._fire(i, self._input_default(i))
+        for ri, qi in enumerate(self._reg_q):
+            self._fire(qi, self._reg_state[ri])
+        for gi, ins in enumerate(self._gate_in):
+            if not ins:
+                self._try_gate(gi)
+        # Inputs that also have internal drivers (INOUT): contribute.
+        for i, v in list(self._pokes.items()):
+            if self._drivers_of[i] and self.values[i] is None:
+                self._contribute(i, v)
+        for di, drv in enumerate(self._drivers):
+            if drv.cond is None and drv.const is not None:
+                self._try_driver(di)
+
+        # Propagate.
+        while self._queue:
+            i = self._queue.pop()
+            for gi in self._gate_watch.get(i, ()):
+                self._try_gate(gi)
+            for di in self._cond_watch.get(i, ()):
+                self._try_driver(di)
+            for di in self._src_watch.get(i, ()):
+                self._try_driver(di)
+
+        # Anything still unfired (possible only on unchecked cyclic
+        # graphs, or multiplex nets waiting on contributions that cannot
+        # arrive) resolves to UNDEF.
+        for i in range(n):
+            if self.values[i] is None:
+                self.values[i] = Logic.UNDEF
+
+    def _input_default(self, i: int) -> Logic:
+        if i in self._pokes:
+            return self._pokes[i]
+        name = self._display[i]
+        if name in ("RSET", "CLK"):
+            return Logic.ZERO
+        return Logic.UNDEF
+
+    def _fire(self, i: int, value: Logic) -> None:
+        if self.values[i] is not None:
+            return
+        self.values[i] = value
+        if self.record_firing:
+            self.firing_log.append((self._display[i], value))
+        self._queue.append(i)
+
+    def _try_gate(self, gi: int) -> None:
+        if self._gate_done[gi]:
+            return
+        op = self._gates[gi].op
+        ins = self._gate_in[gi]
+        vals: list[Logic | None] = [
+            self.values[i].to_boolean() if self.values[i] is not None else None
+            for i in ins
+        ]
+        out = _gate_value(op, vals, self.rng)
+        if out is not None:
+            self._gate_done[gi] = True
+            self._fire(self._gate_out[gi], out)
+
+    def _try_driver(self, di: int) -> None:
+        if self._driver_done[di]:
+            return
+        drv = self._drivers[di]
+        if drv.cond is not None:
+            cv = self.values[drv.cond]
+            if cv is None:
+                return
+            cb = cv.to_boolean()
+            if cb is Logic.ZERO:
+                contribution: Logic | None = Logic.NOINFL
+                maybe = False
+            elif cb is Logic.UNDEF:
+                # The guard itself is undefined: the edge *may* drive.
+                # This poisons the signal to UNDEF but is not a proven
+                # double-drive (the decoded guards of a NUM access are
+                # mutually exclusive, which the simulator cannot see).
+                contribution = Logic.UNDEF
+                maybe = True
+            else:  # guard is 1: pass the source through
+                contribution = self._source_value(drv)
+                maybe = False
+                if contribution is None:
+                    return
+        else:
+            contribution = self._source_value(drv)
+            maybe = False
+            if contribution is None:
+                return
+        self._driver_done[di] = True
+        self._contribute(drv.dst, contribution, maybe)
+
+    def _source_value(self, drv: _Driver) -> Logic | None:
+        if drv.const is not None:
+            return drv.const
+        assert drv.src is not None
+        return self.values[drv.src]
+
+    def _contribute(self, dst: int, value: Logic, maybe: bool = False) -> None:
+        self._contrib_count[dst] += 1
+        if maybe:
+            self._maybe_count[dst] += 1
+        elif value is not Logic.NOINFL:
+            prior = self._driving[dst]
+            if prior is None:
+                self._driving[dst] = value
+            else:
+                self._multi_drive(dst, [prior, value])
+        total = len(self._drivers_of[dst]) + self._extra_driver[dst]
+        if self._is_boolean[dst] and total == 1 and not maybe:
+            # Boolean firing rule: a single-driver boolean signal fires
+            # as soon as its value arrives (the common case; signals with
+            # several conditional drivers wait so maybe-drives resolve).
+            if self._driving[dst] is not None:
+                self._fire(dst, self._driving[dst])  # type: ignore[arg-type]
+                return
+        if self._contrib_count[dst] >= total:
+            v = self._driving[dst]
+            if self._maybe_count[dst]:
+                v = Logic.UNDEF
+            self._fire(dst, Logic.NOINFL if v is None else v)
+
+    def _multi_drive(self, dst: int, values: list[Logic]) -> None:
+        violation = Violation(self.cycle, self._display[dst], values)
+        self.violations.append(violation)
+        self._conflicted[dst] = True
+        self._driving[dst] = Logic.UNDEF
+        if self.strict:
+            raise SimulationError(
+                f"multiple (0,1,UNDEF) assignments to signal "
+                f"{self._display[dst]!r} in cycle {self.cycle} "
+                "(this would burn transistors)",
+            )
+
+    def _latch(self) -> None:
+        for ri, di in enumerate(self._reg_d):
+            v = self.values[di]
+            if v is not None and v is not Logic.NOINFL:
+                self._reg_state[ri] = v
+
+    # -- state management ------------------------------------------------------
+
+    def reset_state(self) -> None:
+        """Clear all register contents back to UNDEF and the cycle count."""
+        self._reg_state = [Logic.UNDEF] * len(self._reg_state)
+        self.cycle = 0
+        self.violations.clear()
+        self.firing_log.clear()
+
+    def registers(self) -> dict[str, Logic]:
+        """Current register contents by instance path."""
+        return {
+            reg.name or f"$reg{reg.id}": self._reg_state[i]
+            for i, reg in enumerate(self.netlist.regs)
+        }
+
+    def attach_trace(self, trace) -> None:
+        self._traces.append(trace)
+
+    @property
+    def event_count(self) -> int:
+        """Nets fired in the last evaluation (a work measure for the
+        simulator-complexity benchmarks)."""
+        return sum(1 for v in self.values if v is not None)
+
+
+def _gate_value(
+    op: str, vals: list[Logic | None], rng: random.Random
+) -> Logic | None:
+    from . import values as V
+
+    if op == "RANDOM":
+        return Logic.ONE if rng.random() < 0.5 else Logic.ZERO
+    if op == "EQUAL":
+        if any(v is None for v in vals):
+            return None
+        half = len(vals) // 2
+        a, b = vals[:half], vals[half:]
+        if all(v is not None and v.is_defined for v in vals):
+            return Logic.ONE if a == b else Logic.ZERO
+        return Logic.UNDEF
+    fn = V.GATE_FUNCTIONS[op]
+    return fn(vals)
+
+
+def _coerce_bits(value: PokeValue, width: int, path: str) -> list[Logic]:
+    if isinstance(value, Logic):
+        bits = [value]
+    elif isinstance(value, str):
+        bits = [Logic.from_name(value)]
+    elif isinstance(value, int):
+        if width == 1:
+            bits = [_one_bit(value)]
+        else:
+            from .values import bits_of
+
+            bits = bits_of(value, width)
+    elif isinstance(value, Iterable):
+        bits = [_coerce_one(v) for v in value]
+    else:
+        raise TypeError(f"cannot interpret poke value {value!r}")
+    if len(bits) != width:
+        raise ValueError(
+            f"poke {path!r}: got {len(bits)} bits for a {width}-bit signal"
+        )
+    return bits
+
+
+def _coerce_one(v: Logic | int | str) -> Logic:
+    if isinstance(v, Logic):
+        return v
+    if isinstance(v, str):
+        return Logic.from_name(v)
+    return _one_bit(v)
+
+
+def _one_bit(v: int) -> Logic:
+    if v in (0, 1):
+        return Logic.from_bit(v)
+    raise ValueError(f"single-bit poke must be 0 or 1, got {v}")

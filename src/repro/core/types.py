@@ -1,0 +1,199 @@
+"""Elaborated Zeus types (paper section 3.2 and the rules of 4.7).
+
+Type *expressions* in the AST are templates -- they may mention type
+parameters and constant expressions.  This module defines the fully
+elaborated type values the rest of the compiler works with:
+
+* :class:`BasicV` -- ``boolean``, ``multiplex`` or ``virtual``;
+* :class:`ArrayV` -- an array with resolved integer bounds;
+* :class:`ComponentV` -- a component/record type with elaborated
+  parameter list; carries the defining AST and closure environment so
+  instantiation can elaborate the body.
+
+The central derived notion is the sequence of **basic substructures** of a
+type ("the types of z and e have the same number of basic components" is
+the universal compatibility rule of section 4.7): :meth:`TypeV.leaves`
+enumerates them in natural order together with their dotted path and the
+parameter mode inherited from the enclosing parameter declarations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from ..lang import ast
+from ..lang.errors import TypeError_
+from ..lang.source import NO_SPAN, Span
+
+if TYPE_CHECKING:
+    from .symbols import Env
+
+
+BOOLEAN = "boolean"
+MULTIPLEX = "multiplex"
+VIRTUAL = "virtual"
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """One basic substructure of a type: its dotted path (for messages),
+    its basic kind, and its effective parameter mode."""
+
+    path: str
+    kind: str  # BOOLEAN or MULTIPLEX
+    mode: ast.Mode
+
+
+class TypeV:
+    """Base class of elaborated type values."""
+
+    @property
+    def width(self) -> int:
+        """Number of basic substructures."""
+        raise NotImplementedError
+
+    def leaves(self, prefix: str = "", mode: ast.Mode = ast.Mode.INOUT) -> Iterator[Leaf]:
+        """All basic substructures in natural order."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class BasicV(TypeV):
+    kind: str  # BOOLEAN, MULTIPLEX or VIRTUAL
+
+    @property
+    def width(self) -> int:
+        return 1
+
+    def leaves(self, prefix: str = "", mode: ast.Mode = ast.Mode.INOUT) -> Iterator[Leaf]:
+        yield Leaf(prefix or "<signal>", self.kind, mode)
+
+    def describe(self) -> str:
+        return self.kind
+
+
+BOOLEAN_T = BasicV(BOOLEAN)
+MULTIPLEX_T = BasicV(MULTIPLEX)
+VIRTUAL_T = BasicV(VIRTUAL)
+
+
+@dataclass(frozen=True)
+class ArrayV(TypeV):
+    lo: int
+    hi: int
+    element: TypeV
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo - 1:  # empty arrays (hi == lo-1) are tolerated
+            raise TypeError_(f"array bounds [{self.lo}..{self.hi}] are decreasing")
+
+    @property
+    def length(self) -> int:
+        return self.hi - self.lo + 1
+
+    @property
+    def width(self) -> int:
+        return self.length * self.element.width
+
+    def leaves(self, prefix: str = "", mode: ast.Mode = ast.Mode.INOUT) -> Iterator[Leaf]:
+        for i in range(self.lo, self.hi + 1):
+            yield from self.element.leaves(f"{prefix}[{i}]", mode)
+
+    def describe(self) -> str:
+        return f"ARRAY[{self.lo}..{self.hi}] OF {self.element.describe()}"
+
+
+@dataclass(frozen=True)
+class ParamV:
+    """One elaborated formal parameter (a pin or pin group)."""
+
+    name: str
+    mode: ast.Mode
+    type: TypeV
+
+    def leaves(self, prefix: str = "") -> Iterator[Leaf]:
+        path = f"{prefix}.{self.name}" if prefix else self.name
+        yield from self.type.leaves(path, self.mode)
+
+
+@dataclass(frozen=True)
+class ComponentV(TypeV):
+    """An elaborated component type.
+
+    ``name`` is the declared type name ("" for anonymous types),
+    ``params`` the elaborated interface.  For component types *with* a
+    body, ``decl_ast`` and ``closure`` carry what instantiation needs to
+    elaborate the internals; record types (no body) have ``decl_ast`` with
+    ``body is None``.  ``result`` is the value type of function component
+    types.  ``type_args`` are the actual numeric parameters this value was
+    elaborated with (used for recursion diagnostics and display).
+    """
+
+    name: str
+    params: tuple[ParamV, ...]
+    result: TypeV | None = None
+    decl_ast: ast.ComponentType | None = field(default=None, compare=False)
+    closure: "Env | None" = field(default=None, compare=False, repr=False)
+    type_args: tuple[int, ...] = ()
+    span: Span = field(default=NO_SPAN, compare=False)
+
+    @property
+    def has_body(self) -> bool:
+        return self.decl_ast is not None and self.decl_ast.body is not None
+
+    @property
+    def is_function(self) -> bool:
+        return self.result is not None
+
+    @property
+    def is_record(self) -> bool:
+        return not self.has_body and not self.is_function
+
+    @property
+    def width(self) -> int:
+        """Interface width: total basic substructures over all pins."""
+        return sum(p.type.width for p in self.params)
+
+    def leaves(self, prefix: str = "", mode: ast.Mode = ast.Mode.INOUT) -> Iterator[Leaf]:
+        for p in self.params:
+            path = f"{prefix}.{p.name}" if prefix else p.name
+            # Mode inheritance (section 3.2): an explicit IN/OUT on the
+            # inner declaration wins; INOUT inherits the outer mode.
+            inner = p.mode if p.mode is not ast.Mode.INOUT else mode
+            yield from p.type.leaves(path, inner)
+
+    def param(self, name: str) -> ParamV:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise TypeError_(f"component {self.describe()} has no pin {name!r}")
+
+    def param_index(self, name: str) -> int:
+        for i, p in enumerate(self.params):
+            if p.name == name:
+                return i
+        raise TypeError_(f"component {self.describe()} has no pin {name!r}")
+
+    def describe(self) -> str:
+        args = ""
+        if self.type_args:
+            args = "(" + ", ".join(str(a) for a in self.type_args) + ")"
+        name = self.name or "COMPONENT"
+        return f"{name}{args}"
+
+
+def same_shape(a: TypeV, b: TypeV) -> bool:
+    """The universal compatibility test of section 4.7: equal number of
+    basic substructures (their kinds are checked per assignment rule)."""
+    return a.width == b.width
+
+
+def leaf_kinds(t: TypeV) -> list[str]:
+    return [leaf.kind for leaf in t.leaves()]

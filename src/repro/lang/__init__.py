@@ -1,0 +1,47 @@
+"""Zeus language frontend: source handling, lexer, AST and parser."""
+
+from . import ast
+from .errors import (
+    CheckError,
+    Diagnostic,
+    DiagnosticSink,
+    ElaborationError,
+    LayoutError,
+    LexError,
+    ParseError,
+    Severity,
+    SimulationError,
+    TypeError_,
+    ZeusError,
+)
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse, parse_expression
+from .source import NO_SPAN, Position, SourceText, Span
+from .tokens import KEYWORDS, Token, TokenKind
+
+__all__ = [
+    "ast",
+    "CheckError",
+    "Diagnostic",
+    "DiagnosticSink",
+    "ElaborationError",
+    "KEYWORDS",
+    "LayoutError",
+    "LexError",
+    "Lexer",
+    "NO_SPAN",
+    "ParseError",
+    "Parser",
+    "Position",
+    "Severity",
+    "SimulationError",
+    "SourceText",
+    "Span",
+    "Token",
+    "TokenKind",
+    "TypeError_",
+    "ZeusError",
+    "parse",
+    "parse_expression",
+    "tokenize",
+]

@@ -1,0 +1,447 @@
+"""Abstract syntax for Zeus (paper section 7, EBNF lines 1-63).
+
+The tree deliberately stays close to the concrete grammar: constant
+expressions and signal expressions share one ``Expr`` hierarchy because the
+grammar reuses identifiers and parenthesised lists in both roles; the
+elaborator decides, given the static environment, whether a ``Name`` is a
+numeric constant, a type, or a signal.
+
+Two grammar liberties, both needed for the paper's own examples:
+
+* multi-dimensional arrays ``ARRAY[1..n, 1..n] OF t`` and index lists
+  ``m[i, j]`` (used by the chessboard example of section 6.4) desugar to
+  nested arrays / chained selectors;
+* in the layout language, a ``basic`` statement is an optionally oriented
+  signal reference with an *optional* ``= type`` replacement part (the
+  paper's examples use bare references like ``root`` or ``flip90 s[3]``,
+  while its grammar only shows the replacement form).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .source import NO_SPAN, Span
+
+
+@dataclass
+class Node:
+    """Base class for every AST node."""
+
+    span: Span = field(default=NO_SPAN, kw_only=True)
+
+
+# ---------------------------------------------------------------------------
+# Expressions (both constant and signal expressions)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class NumberLit(Expr):
+    """A numeric literal (decimal, or octal written with a B suffix)."""
+
+    value: int
+
+
+@dataclass
+class LogicLit(Expr):
+    """One of the basic signal constants 0, 1, UNDEF, NOINFL.
+
+    The lexer produces 0/1 as numbers; the elaborator reinterprets them as
+    logic values by context.  UNDEF and NOINFL arrive as predefined names
+    and are folded to this node during elaboration; the parser never emits
+    ``LogicLit`` directly.
+    """
+
+    value: str  # "0" | "1" | "UNDEF" | "NOINFL"
+
+
+@dataclass
+class Name(Expr):
+    """An identifier reference (signal, constant, type or function name).
+
+    The predefined signals CLK and RSET parse to ``Name("CLK")`` and
+    ``Name("RSET")``.
+    """
+
+    ident: str
+
+
+@dataclass
+class Index(Expr):
+    """``base[index]`` with a constant index expression."""
+
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class IndexRange(Expr):
+    """``base[lo..hi]`` selecting a slice of an array signal."""
+
+    base: Expr
+    lo: Expr
+    hi: Expr
+
+
+@dataclass
+class IndexNum(Expr):
+    """``base[NUM(sel)]`` -- dynamic, hardware-decoded indexing."""
+
+    base: Expr
+    selector: Expr
+
+
+@dataclass
+class Field(Expr):
+    """``base.name`` selecting a component/record field (pin)."""
+
+    base: Expr
+    name: str
+
+
+@dataclass
+class FieldRange(Expr):
+    """``base.first..last`` selecting a consecutive run of fields."""
+
+    base: Expr
+    first: str
+    last: str
+
+
+@dataclass
+class Star(Expr):
+    """``*`` -- the empty signal / "no connection"; ``*: n`` gives it an
+    explicit width of *n* basic signals for positional padding."""
+
+    width: Expr | None = None
+
+
+@dataclass
+class Tuple_(Expr):
+    """A parenthesised list ``(e1, e2, ...)``: signal concatenation, a
+    structured constant, or the actual-parameter list of a connection."""
+
+    items: list[Expr]
+
+
+@dataclass
+class Call(Expr):
+    """``f(args)`` or ``f[t1, t2](args)``: function component call.
+
+    ``type_args`` holds explicit numeric type parameters (``plus[n](a, b)``
+    in the paper's narrative syntax); when absent they are inferred from
+    the widths of the actual parameters.
+    """
+
+    func: Expr
+    args: list[Expr]
+    type_args: list[Expr] | None = None
+
+
+@dataclass
+class BinCall(Expr):
+    """``BIN(value, width)`` -- the standard number-to-bits function."""
+
+    value: Expr
+    width: Expr
+
+
+@dataclass
+class Unary(Expr):
+    """Constant-expression unary operator: ``+``, ``-``, ``NOT``.
+
+    ``NOT`` on a signal operand is re-interpreted by the elaborator as the
+    predefined NOT function component.
+    """
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    """Constant-expression binary operator:
+    ``+ - * DIV MOD AND OR = <> < <= > >=``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+class Mode(Enum):
+    """Parameter transmission mode of a component pin."""
+
+    IN = "IN"
+    OUT = "OUT"
+    INOUT = "INOUT"
+
+
+@dataclass
+class TypeExpr(Node):
+    pass
+
+
+@dataclass
+class NamedType(TypeExpr):
+    """A reference to a declared (possibly parameterized) type, e.g.
+    ``boolean``, ``bo(4)``, ``tree(n DIV 2)``."""
+
+    name: str
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class ArrayType(TypeExpr):
+    """``ARRAY [lo..hi] OF element``."""
+
+    lo: Expr
+    hi: Expr
+    element: TypeExpr
+
+
+@dataclass
+class FParam(Node):
+    """One formal-parameter group ``[IN|OUT] a, b, c : type``."""
+
+    mode: Mode
+    names: list[str]
+    type: TypeExpr
+
+
+@dataclass
+class ComponentType(TypeExpr):
+    """``COMPONENT (params) {layout} [: result] IS ... BEGIN body END``.
+
+    ``body is None`` distinguishes a record type (a component without body,
+    section 3.2) from a component with an empty statement part.
+    ``result`` is the value type of a function component type.
+    ``uses`` is ``None`` when the USES clause is absent (everything visible)
+    and a -- possibly empty -- name list otherwise.
+    """
+
+    params: list[FParam]
+    header_layout: list["LayoutStmt"] = field(default_factory=list)
+    result: TypeExpr | None = None
+    uses: list[str] | None = None
+    decls: list["Decl"] = field(default_factory=list)
+    layout: list["LayoutStmt"] = field(default_factory=list)
+    body: list["Stmt"] | None = None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Assign(Stmt):
+    """``target := expr`` (directed definition) or ``target == expr``
+    (aliasing / bidirectional connection)."""
+
+    target: Expr
+    op: str  # ":=" or "=="
+    value: Expr
+
+
+@dataclass
+class Connection(Stmt):
+    """``sig(actuals)``: positional connection of an instantiated
+    component's pins (section 4.3)."""
+
+    signal: Expr
+    actuals: list[Expr]
+
+
+@dataclass
+class If(Stmt):
+    """``IF c THEN ... {ELSIF c THEN ...} [ELSE ...] END`` -- a *switch*;
+    all conditions are runtime signal expressions evaluated in parallel."""
+
+    arms: list[tuple[Expr, list[Stmt]]]
+    else_body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class For(Stmt):
+    """``FOR i := lo TO|DOWNTO hi DO [SEQUENTIALLY] ... END`` --
+    compile-time replication (section 4.2)."""
+
+    var: str
+    lo: Expr
+    hi: Expr
+    downto: bool
+    sequentially: bool
+    body: list[Stmt]
+
+
+@dataclass
+class WhenGen(Stmt):
+    """``WHEN c THEN ... {OTHERWISEWHEN c THEN ...} [OTHERWISE ...] END``
+    -- compile-time conditional hardware generation (section 4.2)."""
+
+    arms: list[tuple[Expr, list[Stmt]]]
+    otherwise: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Sequential(Stmt):
+    """``SEQUENTIAL s1; ...; sn END`` -- redundant ordering annotation,
+    checked against the dataflow order but without semantic effect."""
+
+    body: list[Stmt]
+
+
+@dataclass
+class Parallel(Stmt):
+    """``PARALLEL ... END`` -- reverses SEQUENTIAL inside it."""
+
+    body: list[Stmt]
+
+
+@dataclass
+class With(Stmt):
+    """``WITH sig DO ... END`` -- opens the pins of *sig* as a scope."""
+
+    signal: Expr
+    body: list[Stmt]
+
+
+@dataclass
+class Result(Stmt):
+    """``RESULT expr`` -- defines the value of a function component."""
+
+    value: Expr
+
+
+@dataclass
+class EmptyStmt(Stmt):
+    """The empty statement admitted by the grammar."""
+
+
+# ---------------------------------------------------------------------------
+# Layout statements (section 6)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LayoutStmt(Node):
+    pass
+
+
+@dataclass
+class LayoutBasic(LayoutStmt):
+    """``[orientation] signal [= type]``.
+
+    Bare form places/references a cell (optionally rotated/flipped);
+    the ``= type`` form *replaces* a virtual signal by a real type
+    (section 6.4)."""
+
+    orientation: str | None
+    signal: Expr
+    replacement: TypeExpr | None = None
+
+
+@dataclass
+class LayoutOrder(LayoutStmt):
+    """``ORDER direction stmts END`` -- relative placement along one of the
+    eight directions of separation."""
+
+    direction: str
+    body: list[LayoutStmt]
+
+
+@dataclass
+class LayoutFor(LayoutStmt):
+    var: str
+    lo: Expr
+    hi: Expr
+    downto: bool
+    body: list[LayoutStmt]
+
+
+@dataclass
+class LayoutWhen(LayoutStmt):
+    arms: list[tuple[Expr, list[LayoutStmt]]]
+    otherwise: list[LayoutStmt] = field(default_factory=list)
+
+
+@dataclass
+class LayoutBoundary(LayoutStmt):
+    """``TOP|RIGHT|BOTTOM|LEFT pins`` -- pins on one side of the cell."""
+
+    side: str
+    body: list[LayoutStmt]
+
+
+@dataclass
+class LayoutWith(LayoutStmt):
+    signal: Expr
+    body: list[LayoutStmt]
+
+
+# ---------------------------------------------------------------------------
+# Declarations and the program
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Decl(Node):
+    pass
+
+
+@dataclass
+class ConstDecl(Decl):
+    """``CONST name = constant;`` -- numeric or signal constant."""
+
+    name: str
+    value: Expr
+
+
+@dataclass
+class TypeDecl(Decl):
+    """``TYPE name [(p1, p2)] = type;`` -- possibly parameterized."""
+
+    name: str
+    params: list[str]
+    type: TypeExpr
+
+
+@dataclass
+class SignalDecl(Decl):
+    """``SIGNAL a, b : type;`` -- instantiates the type (section 3.3)."""
+
+    names: list[str]
+    type: TypeExpr
+
+
+@dataclass
+class Program(Node):
+    """``Hardware = {declaration}`` -- a whole Zeus text."""
+
+    decls: list[Decl] = field(default_factory=list)
+
+    def constants(self) -> list[ConstDecl]:
+        return [d for d in self.decls if isinstance(d, ConstDecl)]
+
+    def types(self) -> list[TypeDecl]:
+        return [d for d in self.decls if isinstance(d, TypeDecl)]
+
+    def signals(self) -> list[SignalDecl]:
+        return [d for d in self.decls if isinstance(d, SignalDecl)]

@@ -1,0 +1,126 @@
+"""Diagnostics and the Zeus error hierarchy.
+
+All compiler phases report problems through :class:`Diagnostic` objects
+collected in a :class:`DiagnosticSink`; user-facing entry points convert
+fatal diagnostics to exceptions from the ``ZeusError`` family.
+
+The hierarchy mirrors the paper's phases:
+
+* :class:`LexError` / :class:`ParseError` -- vocabulary / syntax (sections 2, 7)
+* :class:`TypeError_` -- static type rules (section 4.7)
+* :class:`ElaborationError` -- meta-program evaluation (section 4.2)
+* :class:`CheckError` -- graph-level rules (acyclicity, unused ports)
+* :class:`SimulationError` -- runtime checks, e.g. the multi-driver
+  "burning transistors" check (sections 3.2, 8)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .source import NO_SPAN, SourceText, Span
+
+
+class Severity(Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    severity: Severity
+    message: str
+    span: Span = NO_SPAN
+    phase: str = ""
+
+    def render(self, source: SourceText | None = None) -> str:
+        head = f"{self.severity.value}: {self.message}"
+        if self.phase:
+            head = f"[{self.phase}] {head}"
+        if source is not None and self.span is not NO_SPAN:
+            pos = source.position(self.span.start)
+            head = f"{source.name}:{pos}: {head}\n{source.caret_diagram(self.span)}"
+        return head
+
+
+class ZeusError(Exception):
+    """Base class for all errors raised by the Zeus toolchain."""
+
+    def __init__(self, message: str, span: Span = NO_SPAN):
+        super().__init__(message)
+        self.message = message
+        self.span = span
+
+
+class LexError(ZeusError):
+    """Illegal character or malformed token (section 2)."""
+
+
+class ParseError(ZeusError):
+    """Syntax error relative to the section-7 EBNF."""
+
+
+class TypeError_(ZeusError):
+    """Violation of the static type rules of section 4.7."""
+
+
+class ElaborationError(ZeusError):
+    """Error while evaluating the compile-time meta program
+    (constant expressions, replications, conditional generation,
+    parameterized/recursive types)."""
+
+
+class CheckError(ZeusError):
+    """Graph-level static check failure: combinational cycles,
+    unused ports, multiple unconditional assignment, etc."""
+
+
+class SimulationError(ZeusError):
+    """Runtime rule violation, most importantly more than one
+    (0,1,UNDEF) assignment to one signal in a cycle."""
+
+
+class LayoutError(ZeusError):
+    """Layout-language error (section 6): double replacement of a
+    virtual signal, unknown direction of separation, etc."""
+
+
+@dataclass
+class DiagnosticSink:
+    """Collects diagnostics across a compilation.
+
+    ``strict`` sinks raise immediately on the first error, which is what
+    the library entry points use; the CLI uses a permissive sink so it can
+    report several problems per run.
+    """
+
+    source: SourceText | None = None
+    strict: bool = False
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def emit(self, diag: Diagnostic) -> None:
+        self.diagnostics.append(diag)
+        if self.strict and diag.severity is Severity.ERROR:
+            raise CheckError(diag.message, diag.span)
+
+    def error(self, message: str, span: Span = NO_SPAN, phase: str = "") -> None:
+        self.emit(Diagnostic(Severity.ERROR, message, span, phase))
+
+    def warning(self, message: str, span: Span = NO_SPAN, phase: str = "") -> None:
+        self.emit(Diagnostic(Severity.WARNING, message, span, phase))
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+    def render(self) -> str:
+        return "\n".join(d.render(self.source) for d in self.diagnostics)

@@ -1,0 +1,129 @@
+"""The Zeus scanner (paper section 2).
+
+Turns source text into a list of :class:`~repro.lang.tokens.Token`.
+
+* identifiers: ``letter { letter | digit }`` (case-sensitive);
+* numbers: decimal digit strings, with a trailing ``B``/``b`` marking an
+  *octal* literal as in Modula-2 (``17B`` == 15);
+* comments: ``<* ... *>``, nesting allowed (Modula-2 convention);
+* all special symbols of the vocabulary, longest match first.
+"""
+
+from __future__ import annotations
+
+from .errors import LexError
+from .source import SourceText, Span
+from .tokens import KEYWORDS, SYMBOLS, Token, TokenKind
+
+_WHITESPACE = " \t\r\n\f"
+
+
+class Lexer:
+    """A one-pass scanner over a :class:`SourceText`."""
+
+    def __init__(self, source: SourceText | str):
+        if isinstance(source, str):
+            source = SourceText(source)
+        self.source = source
+        self.text = source.text
+        self.pos = 0
+
+    def tokens(self) -> list[Token]:
+        """Scan the whole input and return all tokens plus a final EOF."""
+        out: list[Token] = []
+        while True:
+            tok = self.next_token()
+            out.append(tok)
+            if tok.kind is TokenKind.EOF:
+                return out
+
+    # -- internals ---------------------------------------------------------
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        if self.pos >= len(self.text):
+            return Token(TokenKind.EOF, "", Span(self.pos, self.pos))
+        ch = self.text[self.pos]
+        if ch.isalpha():
+            return self._identifier()
+        if ch.isdigit():
+            return self._number()
+        return self._symbol()
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch in _WHITESPACE:
+                self.pos += 1
+            elif self.text.startswith("<*", self.pos):
+                self._skip_comment()
+            else:
+                return
+
+    def _skip_comment(self) -> None:
+        start = self.pos
+        depth = 0
+        while self.pos < len(self.text):
+            if self.text.startswith("<*", self.pos):
+                depth += 1
+                self.pos += 2
+            elif self.text.startswith("*>", self.pos):
+                depth -= 1
+                self.pos += 2
+                if depth == 0:
+                    return
+            else:
+                self.pos += 1
+        raise LexError("unterminated comment", Span(start, len(self.text)))
+
+    def _identifier(self) -> Token:
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos].isalnum():
+            self.pos += 1
+        word = self.text[start : self.pos]
+        span = Span(start, self.pos)
+        kind = KEYWORDS.get(word)
+        if kind is not None:
+            return Token(kind, word, span)
+        return Token(TokenKind.IDENT, word, span)
+
+    def _number(self) -> Token:
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos].isdigit():
+            self.pos += 1
+        digits = self.text[start : self.pos]
+        base = 10
+        if self.pos < len(self.text) and self.text[self.pos] in "Bb":
+            # Octal marker -- but only when not the start of an identifier
+            # continuation (a number followed by letters is an error anyway).
+            nxt = self.text[self.pos + 1 : self.pos + 2]
+            if not nxt.isalnum():
+                base = 8
+                self.pos += 1
+        span = Span(start, self.pos)
+        if self.pos < len(self.text) and self.text[self.pos].isalpha():
+            raise LexError(
+                f"malformed number {self.text[start:self.pos + 1]!r}",
+                Span(start, self.pos + 1),
+            )
+        try:
+            value = int(digits, base)
+        except ValueError:
+            raise LexError(f"invalid octal number {digits!r}B", span) from None
+        return Token(TokenKind.NUMBER, self.source.snippet(span), span, value)
+
+    def _symbol(self) -> Token:
+        for text, kind in SYMBOLS:
+            if self.text.startswith(text, self.pos):
+                span = Span(self.pos, self.pos + len(text))
+                self.pos += len(text)
+                return Token(kind, text, span)
+        raise LexError(
+            f"illegal character {self.text[self.pos]!r}",
+            Span(self.pos, self.pos + 1),
+        )
+
+
+def tokenize(source: SourceText | str) -> list[Token]:
+    """Convenience wrapper: scan *source* into a token list ending in EOF."""
+    return Lexer(source).tokens()

@@ -1,0 +1,783 @@
+"""Recursive-descent parser for Zeus (paper section 7).
+
+The parser follows the published EBNF closely, with the documented
+repairs where the report's grammar and its own examples disagree:
+
+* ``SimpleConstExpr`` drops the spurious leading ``"="`` of grammar line 8;
+* a function component type header ``COMPONENT (...) : t IS ... END`` is
+  required to carry ``IS`` (the mux4 example misses it -- a typo);
+* layout ``basic`` statements allow a bare (optionally oriented) signal
+  reference in addition to the ``signal = type`` replacement form, since
+  every layout example in the paper uses bare references;
+* ``ARRAY[a..b, c..d] OF t`` and ``s[i, j]`` desugar to nested arrays and
+  chained selectors (used by the chessboard example);
+* a boundary statement (``TOP``/``BOTTOM``/... pin list) extends to the
+  next side keyword or the end of the layout list, since the grammar gives
+  it no END delimiter.
+
+Everything else -- including the odd but deliberate rule that statement
+order is irrelevant -- is handled downstream.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .errors import ParseError
+from .lexer import tokenize
+from .source import SourceText, Span
+from .tokens import Token, TokenKind
+
+_K = TokenKind
+
+#: Orientation changes of the layout language (all non-identity elements
+#: of the dihedral group, section 6.3).
+ORIENTATIONS = frozenset(
+    ["rotate90", "rotate180", "rotate270", "flip0", "flip45", "flip90", "flip135"]
+)
+
+#: The eight directions of separation (section 6.2).
+DIRECTIONS = frozenset(
+    [
+        "toptobottom",
+        "bottomtotop",
+        "lefttoright",
+        "righttoleft",
+        "toplefttobottomright",
+        "bottomrighttotopleft",
+        "toprighttobottomleft",
+        "bottomlefttotopright",
+    ]
+)
+
+_STMT_FOLLOW = frozenset(
+    [
+        _K.END,
+        _K.ELSE,
+        _K.ELSIF,
+        _K.OTHERWISE,
+        _K.OTHERWISEWHEN,
+        _K.EOF,
+        _K.RBRACE,
+    ]
+)
+
+_BOUNDARY_SIDES = {
+    _K.TOP: "top",
+    _K.RIGHT: "right",
+    _K.BOTTOM: "bottom",
+    _K.LEFT: "left",
+}
+
+_RELATION_OPS = {
+    _K.EQ: "=",
+    _K.NEQ: "<>",
+    _K.LT: "<",
+    _K.LE: "<=",
+    _K.GT: ">",
+    _K.GE: ">=",
+}
+
+_ADD_OPS = {_K.PLUS: "+", _K.MINUS: "-", _K.OR: "OR"}
+_MUL_OPS = {_K.STAR: "*", _K.DIV: "DIV", _K.MOD: "MOD", _K.AND: "AND"}
+
+
+class Parser:
+    """One-token-lookahead recursive-descent parser."""
+
+    def __init__(self, source: SourceText | str):
+        if isinstance(source, str):
+            source = SourceText(source)
+        self.source = source
+        self.toks = tokenize(source)
+        self.idx = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    @property
+    def tok(self) -> Token:
+        return self.toks[self.idx]
+
+    def peek(self, ahead: int = 1) -> Token:
+        return self.toks[min(self.idx + ahead, len(self.toks) - 1)]
+
+    def at(self, *kinds: TokenKind) -> bool:
+        return self.tok.kind in kinds
+
+    def advance(self) -> Token:
+        tok = self.tok
+        if tok.kind is not _K.EOF:
+            self.idx += 1
+        return tok
+
+    def accept(self, kind: TokenKind) -> Token | None:
+        if self.tok.kind is kind:
+            return self.advance()
+        return None
+
+    def expect(self, kind: TokenKind, what: str = "") -> Token:
+        if self.tok.kind is kind:
+            return self.advance()
+        wanted = what or kind.name
+        raise ParseError(
+            f"expected {wanted}, found {self.tok.text!r}", self.tok.span
+        )
+
+    def expect_ident(self, what: str = "identifier") -> str:
+        return self.expect(_K.IDENT, what).text
+
+    # -- entry points --------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        start = self.tok.span
+        decls: list[ast.Decl] = []
+        while not self.at(_K.EOF):
+            decls.extend(self.parse_declaration())
+        span = start.merge(self.tok.span) if decls else start
+        return ast.Program(decls, span=span)
+
+    def parse_declaration(self) -> list[ast.Decl]:
+        if self.at(_K.CONST):
+            return self._const_declaration()
+        if self.at(_K.TYPE):
+            return self._type_declaration()
+        if self.at(_K.SIGNAL):
+            return self._signal_declaration()
+        raise ParseError(
+            f"expected CONST, TYPE or SIGNAL declaration, found {self.tok.text!r}",
+            self.tok.span,
+        )
+
+    # -- declarations --------------------------------------------------------
+
+    def _const_declaration(self) -> list[ast.Decl]:
+        self.expect(_K.CONST)
+        decls: list[ast.Decl] = []
+        while self.at(_K.IDENT):
+            start = self.tok.span
+            name = self.expect_ident()
+            self.expect(_K.EQ, "'='")
+            value = self.parse_constant()
+            self.expect(_K.SEMICOLON, "';'")
+            decls.append(ast.ConstDecl(name, value, span=start.merge(value.span)))
+        if not decls:
+            raise ParseError("empty CONST declaration", self.tok.span)
+        return decls
+
+    def _type_declaration(self) -> list[ast.Decl]:
+        self.expect(_K.TYPE)
+        decls: list[ast.Decl] = []
+        while self.at(_K.IDENT):
+            start = self.tok.span
+            name = self.expect_ident()
+            params: list[str] = []
+            if self.accept(_K.LPAREN):
+                params.append(self.expect_ident("type parameter"))
+                while self.accept(_K.COMMA):
+                    params.append(self.expect_ident("type parameter"))
+                self.expect(_K.RPAREN, "')'")
+            self.expect(_K.EQ, "'='")
+            type_ = self.parse_type()
+            self.expect(_K.SEMICOLON, "';'")
+            decls.append(ast.TypeDecl(name, params, type_, span=start.merge(type_.span)))
+        if not decls:
+            raise ParseError("empty TYPE declaration", self.tok.span)
+        return decls
+
+    def _signal_declaration(self) -> list[ast.Decl]:
+        self.expect(_K.SIGNAL)
+        decls: list[ast.Decl] = []
+        while self.at(_K.IDENT):
+            start = self.tok.span
+            names = [self.expect_ident()]
+            while self.accept(_K.COMMA):
+                names.append(self.expect_ident())
+            self.expect(_K.COLON, "':'")
+            type_ = self.parse_type()
+            self.expect(_K.SEMICOLON, "';'")
+            decls.append(ast.SignalDecl(names, type_, span=start.merge(type_.span)))
+        if not decls:
+            raise ParseError("empty SIGNAL declaration", self.tok.span)
+        return decls
+
+    # -- types ---------------------------------------------------------------
+
+    def parse_type(self) -> ast.TypeExpr:
+        if self.at(_K.ARRAY):
+            return self._array_type()
+        if self.at(_K.COMPONENT):
+            return self._component_type()
+        start = self.tok.span
+        name = self.expect_ident("type name")
+        args: list[ast.Expr] = []
+        end = start
+        if self.accept(_K.LPAREN):
+            args.append(self.parse_const_expression())
+            while self.accept(_K.COMMA):
+                args.append(self.parse_const_expression())
+            end = self.expect(_K.RPAREN, "')'").span
+        return ast.NamedType(name, args, span=start.merge(end))
+
+    def _array_type(self) -> ast.TypeExpr:
+        start = self.expect(_K.ARRAY).span
+        self.expect(_K.LBRACKET, "'['")
+        bounds: list[tuple[ast.Expr, ast.Expr]] = []
+        while True:
+            lo = self.parse_const_expression()
+            self.expect(_K.DOTDOT, "'..'")
+            hi = self.parse_const_expression()
+            bounds.append((lo, hi))
+            if not self.accept(_K.COMMA):
+                break
+        self.expect(_K.RBRACKET, "']'")
+        self.expect(_K.OF, "OF")
+        element = self.parse_type()
+        # Desugar ARRAY[a..b, c..d] OF t to ARRAY[a..b] OF ARRAY[c..d] OF t.
+        for lo, hi in reversed(bounds):
+            element = ast.ArrayType(lo, hi, element, span=start.merge(element.span))
+        return element
+
+    def _component_type(self) -> ast.TypeExpr:
+        start = self.expect(_K.COMPONENT).span
+        self.expect(_K.LPAREN, "'('")
+        params: list[ast.FParam] = []
+        if not self.at(_K.RPAREN):
+            params.append(self._fparams())
+            while self.accept(_K.SEMICOLON):
+                params.append(self._fparams())
+        self.expect(_K.RPAREN, "')'")
+
+        header_layout: list[ast.LayoutStmt] = []
+        if self.accept(_K.LBRACE):
+            header_layout = self.parse_layout_list()
+            self.expect(_K.RBRACE, "'}'")
+
+        result: ast.TypeExpr | None = None
+        if self.accept(_K.COLON):
+            result = self.parse_type()
+
+        if not self.at(_K.IS):
+            if result is not None:
+                raise ParseError(
+                    "function component type requires IS and a body", self.tok.span
+                )
+            # Record type: component without body.
+            return ast.ComponentType(
+                params, header_layout, span=start.merge(self.tok.span)
+            )
+
+        self.expect(_K.IS)
+        uses: list[str] | None = None
+        if self.accept(_K.USES):
+            uses = []
+            if self.at(_K.IDENT):
+                uses.append(self.expect_ident())
+                while self.accept(_K.COMMA):
+                    uses.append(self.expect_ident())
+            self.expect(_K.SEMICOLON, "';'")
+
+        decls: list[ast.Decl] = []
+        while self.at(_K.CONST, _K.TYPE, _K.SIGNAL):
+            decls.extend(self.parse_declaration())
+
+        layout: list[ast.LayoutStmt] = []
+        if self.accept(_K.LBRACE):
+            layout = self.parse_layout_list()
+            self.expect(_K.RBRACE, "'}'")
+
+        self.expect(_K.BEGIN, "BEGIN")
+        body = self.parse_statement_sequence()
+        end = self.expect(_K.END, "END").span
+        return ast.ComponentType(
+            params,
+            header_layout,
+            result,
+            uses,
+            decls,
+            layout,
+            body,
+            span=start.merge(end),
+        )
+
+    def _fparams(self) -> ast.FParam:
+        start = self.tok.span
+        mode = ast.Mode.INOUT
+        if self.accept(_K.IN):
+            mode = ast.Mode.IN
+        elif self.accept(_K.OUT):
+            mode = ast.Mode.OUT
+        names = [self.expect_ident("parameter name")]
+        while self.accept(_K.COMMA):
+            names.append(self.expect_ident("parameter name"))
+        self.expect(_K.COLON, "':'")
+        type_ = self.parse_type()
+        return ast.FParam(mode, names, type_, span=start.merge(type_.span))
+
+    # -- constant expressions (sections 3.1, 7 lines 6-19) -------------------
+
+    def parse_constant(self) -> ast.Expr:
+        """``constant = ConstExpression | sigConstExpression``.
+
+        A leading ``(`` is ambiguous; we parse the parenthesised group and
+        decide by whether a comma follows (tuple => signal constant).
+        """
+        if self.at(_K.LPAREN):
+            return self._paren_constant()
+        if self.at(_K.BIN):
+            start = self.advance().span
+            self.expect(_K.LPAREN, "'('")
+            value = self.parse_const_expression()
+            self.expect(_K.COMMA, "','")
+            width = self.parse_const_expression()
+            end = self.expect(_K.RPAREN, "')'").span
+            return ast.BinCall(value, width, span=start.merge(end))
+        return self.parse_const_expression()
+
+    def _paren_constant(self) -> ast.Expr:
+        start = self.expect(_K.LPAREN).span
+        first = self.parse_constant()
+        if self.at(_K.COMMA):
+            items = [first]
+            while self.accept(_K.COMMA):
+                items.append(self.parse_constant())
+            end = self.expect(_K.RPAREN, "')'").span
+            tup: ast.Expr = ast.Tuple_(items, span=start.merge(end))
+            # Signal constants may be compared with = / <> .
+            if self.tok.kind in (_K.EQ, _K.NEQ):
+                op = "=" if self.advance().kind is _K.EQ else "<>"
+                right = self.parse_constant()
+                tup = ast.Binary(op, tup, right, span=tup.span.merge(right.span))
+            return tup
+        self.expect(_K.RPAREN, "')'")
+        # Parenthesised scalar: may continue as a constant expression,
+        # e.g. ``(3+4)*2``.
+        return self._const_expression_tail(first)
+
+    def parse_const_expression(self) -> ast.Expr:
+        left = self._simple_const_expr()
+        if self.tok.kind in _RELATION_OPS:
+            op = _RELATION_OPS[self.advance().kind]
+            right = self._simple_const_expr()
+            return ast.Binary(op, left, right, span=left.span.merge(right.span))
+        return left
+
+    def _const_expression_tail(self, left: ast.Expr) -> ast.Expr:
+        """Continue a constant expression whose first factor is *left*."""
+        while self.tok.kind in _MUL_OPS:
+            op = _MUL_OPS[self.advance().kind]
+            right = self._const_factor()
+            left = ast.Binary(op, left, right, span=left.span.merge(right.span))
+        while self.tok.kind in _ADD_OPS:
+            op = _ADD_OPS[self.advance().kind]
+            right = self._const_term()
+            left = ast.Binary(op, left, right, span=left.span.merge(right.span))
+        if self.tok.kind in _RELATION_OPS:
+            op = _RELATION_OPS[self.advance().kind]
+            right = self._simple_const_expr()
+            left = ast.Binary(op, left, right, span=left.span.merge(right.span))
+        return left
+
+    def _simple_const_expr(self) -> ast.Expr:
+        sign: str | None = None
+        start = self.tok.span
+        if self.at(_K.PLUS):
+            self.advance()
+            sign = "+"
+        elif self.at(_K.MINUS):
+            self.advance()
+            sign = "-"
+        left = self._const_term()
+        if sign == "-":
+            left = ast.Unary("-", left, span=start.merge(left.span))
+        while self.tok.kind in _ADD_OPS:
+            op = _ADD_OPS[self.advance().kind]
+            right = self._const_term()
+            left = ast.Binary(op, left, right, span=left.span.merge(right.span))
+        return left
+
+    def _const_term(self) -> ast.Expr:
+        left = self._const_factor()
+        while self.tok.kind in _MUL_OPS:
+            op = _MUL_OPS[self.advance().kind]
+            right = self._const_factor()
+            left = ast.Binary(op, left, right, span=left.span.merge(right.span))
+        return left
+
+    def _const_factor(self) -> ast.Expr:
+        tok = self.tok
+        if tok.kind is _K.NUMBER:
+            self.advance()
+            assert tok.value is not None
+            return ast.NumberLit(tok.value, span=tok.span)
+        if tok.kind is _K.LPAREN:
+            self.advance()
+            inner = self.parse_const_expression()
+            self.expect(_K.RPAREN, "')'")
+            return inner
+        if tok.kind is _K.NOT:
+            self.advance()
+            operand = self._const_factor()
+            return ast.Unary("NOT", operand, span=tok.span.merge(operand.span))
+        if tok.kind is _K.IDENT:
+            self.advance()
+            node: ast.Expr = ast.Name(tok.text, span=tok.span)
+            if self.at(_K.LPAREN):
+                # Predefined constant functions: min, max, odd (section 7).
+                self.advance()
+                args = [self.parse_const_expression()]
+                while self.accept(_K.SEMICOLON) or self.accept(_K.COMMA):
+                    args.append(self.parse_const_expression())
+                end = self.expect(_K.RPAREN, "')'").span
+                node = ast.Call(node, args, span=tok.span.merge(end))
+            return node
+        raise ParseError(
+            f"expected constant factor, found {tok.text!r}", tok.span
+        )
+
+    # -- signal designators and expressions -----------------------------------
+
+    def parse_designator(self) -> ast.Expr:
+        """``signal`` of grammar lines 37-39, without the leading ``*``."""
+        tok = self.tok
+        if tok.kind in (_K.CLK, _K.RSET):
+            self.advance()
+            base: ast.Expr = ast.Name(tok.text, span=tok.span)
+        else:
+            name = self.expect_ident("signal name")
+            base = ast.Name(name, span=tok.span)
+        return self._selectors(base)
+
+    def _selectors(self, base: ast.Expr) -> ast.Expr:
+        while True:
+            if self.at(_K.LBRACKET):
+                self.advance()
+                while True:
+                    base = self._one_index(base)
+                    if not self.accept(_K.COMMA):
+                        break
+                self.expect(_K.RBRACKET, "']'")
+            elif self.at(_K.DOT):
+                self.advance()
+                name = self.expect_ident("field name")
+                if self.accept(_K.DOTDOT):
+                    last = self.expect_ident("field name")
+                    base = ast.FieldRange(
+                        base, name, last, span=base.span.merge(self.toks[self.idx - 1].span)
+                    )
+                else:
+                    base = ast.Field(
+                        base, name, span=base.span.merge(self.toks[self.idx - 1].span)
+                    )
+            else:
+                return base
+
+    def _one_index(self, base: ast.Expr) -> ast.Expr:
+        if self.at(_K.NUM):
+            start = self.advance().span
+            self.expect(_K.LPAREN, "'('")
+            sel = self.parse_expression()
+            end = self.expect(_K.RPAREN, "')'").span
+            return ast.IndexNum(base, sel, span=base.span.merge(end))
+        lo = self.parse_const_expression()
+        if self.accept(_K.DOTDOT):
+            hi = self.parse_const_expression()
+            return ast.IndexRange(base, lo, hi, span=base.span.merge(hi.span))
+        return ast.Index(base, lo, span=base.span.merge(lo.span))
+
+    def parse_expression(self) -> ast.Expr:
+        """``expression`` of grammar lines 40-45 (signal level)."""
+        tok = self.tok
+        if tok.kind is _K.STAR:
+            self.advance()
+            width: ast.Expr | None = None
+            end = tok.span
+            if self.accept(_K.COLON):
+                width = self.parse_const_expression()
+                end = width.span
+            return ast.Star(width, span=tok.span.merge(end))
+        if tok.kind is _K.LPAREN:
+            self.advance()
+            items = [self.parse_expression()]
+            while self.accept(_K.COMMA):
+                items.append(self.parse_expression())
+            end = self.expect(_K.RPAREN, "')'").span
+            if len(items) == 1:
+                return items[0]
+            return ast.Tuple_(items, span=tok.span.merge(end))
+        if tok.kind is _K.NUMBER:
+            self.advance()
+            assert tok.value is not None
+            node: ast.Expr = ast.NumberLit(tok.value, span=tok.span)
+            # Numeric literals may take part in constant arithmetic even in
+            # expression position (e.g. inside BIN arguments).
+            return self._const_expression_tail(node)
+        if tok.kind is _K.BIN:
+            self.advance()
+            self.expect(_K.LPAREN, "'('")
+            value = self.parse_const_expression()
+            self.expect(_K.COMMA, "','")
+            width = self.parse_const_expression()
+            end = self.expect(_K.RPAREN, "')'").span
+            return ast.BinCall(value, width, span=tok.span.merge(end))
+        if tok.kind is _K.NOT:
+            self.advance()
+            operand = self.parse_expression()
+            return ast.Unary("NOT", operand, span=tok.span.merge(operand.span))
+        if tok.kind in (_K.AND, _K.OR):
+            # AND/OR used as predefined function components: AND(a, b).
+            op = self.advance()
+            self.expect(_K.LPAREN, "'('")
+            args = [self.parse_expression()]
+            while self.accept(_K.COMMA):
+                args.append(self.parse_expression())
+            end = self.expect(_K.RPAREN, "')'").span
+            return ast.Call(
+                ast.Name(op.text, span=op.span), args, span=op.span.merge(end)
+            )
+        if tok.kind in (_K.IDENT, _K.CLK, _K.RSET):
+            node = self.parse_designator()
+            if self.at(_K.LPAREN):
+                self.advance()
+                args: list[ast.Expr] = []
+                if not self.at(_K.RPAREN):
+                    args.append(self.parse_expression())
+                    while self.accept(_K.COMMA):
+                        args.append(self.parse_expression())
+                end = self.expect(_K.RPAREN, "')'").span
+                return ast.Call(node, args, span=node.span.merge(end))
+            # Loop variables and numeric constants may continue as
+            # constant arithmetic (``2*i+1`` in selector-free positions).
+            if self.tok.kind in (_K.DIV, _K.MOD):
+                return self._const_expression_tail(node)
+            return node
+        raise ParseError(f"expected expression, found {tok.text!r}", tok.span)
+
+    # -- statements ------------------------------------------------------------
+
+    def parse_statement_sequence(self) -> list[ast.Stmt]:
+        stmts: list[ast.Stmt] = []
+        while True:
+            if self.tok.kind in _STMT_FOLLOW:
+                return stmts
+            stmt = self.parse_statement()
+            if not isinstance(stmt, ast.EmptyStmt):
+                stmts.append(stmt)
+            if not self.accept(_K.SEMICOLON):
+                return stmts
+
+    def parse_statement(self) -> ast.Stmt:
+        tok = self.tok
+        if tok.kind is _K.IF:
+            return self._if_statement()
+        if tok.kind is _K.FOR:
+            return self._for_statement()
+        if tok.kind is _K.WHEN:
+            return self._when_statement()
+        if tok.kind is _K.SEQUENTIAL:
+            self.advance()
+            body = self.parse_statement_sequence()
+            end = self.expect(_K.END, "END").span
+            return ast.Sequential(body, span=tok.span.merge(end))
+        if tok.kind is _K.PARALLEL:
+            self.advance()
+            body = self.parse_statement_sequence()
+            end = self.expect(_K.END, "END").span
+            return ast.Parallel(body, span=tok.span.merge(end))
+        if tok.kind is _K.WITH:
+            self.advance()
+            signal = self.parse_designator()
+            self.expect(_K.DO, "DO")
+            body = self.parse_statement_sequence()
+            end = self.expect(_K.END, "END").span
+            return ast.With(signal, body, span=tok.span.merge(end))
+        if tok.kind is _K.RESULT:
+            self.advance()
+            value = self.parse_expression()
+            return ast.Result(value, span=tok.span.merge(value.span))
+        if tok.kind is _K.STAR:
+            # ``* := x.b`` -- assignment to the empty signal.
+            self.advance()
+            target: ast.Expr = ast.Star(span=tok.span)
+            return self._assignment_tail(target)
+        if tok.kind in (_K.IDENT, _K.CLK, _K.RSET):
+            designator = self.parse_designator()
+            if self.at(_K.ASSIGN, _K.ALIAS):
+                return self._assignment_tail(designator)
+            if self.at(_K.LPAREN):
+                return self._connection_tail(designator)
+            # Bare signal statement (grammar: connection = signal [expr]).
+            return ast.Connection(designator, [], span=designator.span)
+        if tok.kind is _K.SEMICOLON or tok.kind in _STMT_FOLLOW:
+            return ast.EmptyStmt(span=tok.span)
+        raise ParseError(f"expected statement, found {tok.text!r}", tok.span)
+
+    def _assignment_tail(self, target: ast.Expr) -> ast.Stmt:
+        if self.accept(_K.ASSIGN):
+            op = ":="
+        else:
+            self.expect(_K.ALIAS, "':=' or '=='")
+            op = "=="
+        value = self.parse_expression()
+        return ast.Assign(target, op, value, span=target.span.merge(value.span))
+
+    def _connection_tail(self, signal: ast.Expr) -> ast.Stmt:
+        self.expect(_K.LPAREN, "'('")
+        actuals: list[ast.Expr] = []
+        if not self.at(_K.RPAREN):
+            actuals.append(self.parse_expression())
+            while self.accept(_K.COMMA):
+                actuals.append(self.parse_expression())
+        end = self.expect(_K.RPAREN, "')'").span
+        return ast.Connection(signal, actuals, span=signal.span.merge(end))
+
+    def _if_statement(self) -> ast.Stmt:
+        start = self.expect(_K.IF).span
+        arms: list[tuple[ast.Expr, list[ast.Stmt]]] = []
+        cond = self.parse_expression()
+        self.expect(_K.THEN, "THEN")
+        arms.append((cond, self.parse_statement_sequence()))
+        while self.accept(_K.ELSIF):
+            cond = self.parse_expression()
+            self.expect(_K.THEN, "THEN")
+            arms.append((cond, self.parse_statement_sequence()))
+        else_body: list[ast.Stmt] = []
+        if self.accept(_K.ELSE):
+            else_body = self.parse_statement_sequence()
+        end = self.expect(_K.END, "END").span
+        return ast.If(arms, else_body, span=start.merge(end))
+
+    def _for_statement(self) -> ast.Stmt:
+        start = self.expect(_K.FOR).span
+        var = self.expect_ident("loop variable")
+        self.expect(_K.ASSIGN, "':='")
+        lo = self.parse_const_expression()
+        downto = False
+        if self.accept(_K.DOWNTO):
+            downto = True
+        else:
+            self.expect(_K.TO, "TO or DOWNTO")
+        hi = self.parse_const_expression()
+        self.expect(_K.DO, "DO")
+        sequentially = bool(self.accept(_K.SEQUENTIALLY))
+        body = self.parse_statement_sequence()
+        end = self.expect(_K.END, "END").span
+        return ast.For(var, lo, hi, downto, sequentially, body, span=start.merge(end))
+
+    def _when_statement(self) -> ast.Stmt:
+        start = self.expect(_K.WHEN).span
+        arms: list[tuple[ast.Expr, list[ast.Stmt]]] = []
+        cond = self.parse_const_expression()
+        self.expect(_K.THEN, "THEN")
+        arms.append((cond, self.parse_statement_sequence()))
+        while self.accept(_K.OTHERWISEWHEN):
+            cond = self.parse_const_expression()
+            self.expect(_K.THEN, "THEN")
+            arms.append((cond, self.parse_statement_sequence()))
+        otherwise: list[ast.Stmt] = []
+        if self.accept(_K.OTHERWISE):
+            otherwise = self.parse_statement_sequence()
+        end = self.expect(_K.END, "END").span
+        return ast.WhenGen(arms, otherwise, span=start.merge(end))
+
+    # -- layout statements (section 6) ------------------------------------------
+
+    def parse_layout_list(self) -> list[ast.LayoutStmt]:
+        stmts: list[ast.LayoutStmt] = []
+        while True:
+            if self.tok.kind in _STMT_FOLLOW:
+                return stmts
+            stmt = self.parse_layout_statement()
+            if stmt is not None:
+                stmts.append(stmt)
+            if not self.accept(_K.SEMICOLON):
+                return stmts
+
+    def parse_layout_statement(self) -> ast.LayoutStmt | None:
+        tok = self.tok
+        if tok.kind is _K.ORDER:
+            self.advance()
+            direction = self.expect_ident("direction of separation")
+            if direction not in DIRECTIONS:
+                raise ParseError(
+                    f"unknown direction of separation {direction!r}", tok.span
+                )
+            body = self.parse_layout_list()
+            end = self.expect(_K.END, "END").span
+            return ast.LayoutOrder(direction, body, span=tok.span.merge(end))
+        if tok.kind is _K.FOR:
+            self.advance()
+            var = self.expect_ident("loop variable")
+            if not self.accept(_K.ASSIGN):
+                self.expect(_K.EQ, "':=' or '='")
+            lo = self.parse_const_expression()
+            downto = False
+            if self.accept(_K.DOWNTO):
+                downto = True
+            else:
+                self.expect(_K.TO, "TO or DOWNTO")
+            hi = self.parse_const_expression()
+            self.expect(_K.DO, "DO")
+            body = self.parse_layout_list()
+            end = self.expect(_K.END, "END").span
+            return ast.LayoutFor(var, lo, hi, downto, body, span=tok.span.merge(end))
+        if tok.kind is _K.WHEN:
+            self.advance()
+            arms: list[tuple[ast.Expr, list[ast.LayoutStmt]]] = []
+            cond = self.parse_const_expression()
+            self.expect(_K.THEN, "THEN")
+            arms.append((cond, self.parse_layout_list()))
+            while self.accept(_K.OTHERWISEWHEN):
+                cond = self.parse_const_expression()
+                self.expect(_K.THEN, "THEN")
+                arms.append((cond, self.parse_layout_list()))
+            otherwise: list[ast.LayoutStmt] = []
+            if self.accept(_K.OTHERWISE):
+                otherwise = self.parse_layout_list()
+            end = self.expect(_K.END, "END").span
+            return ast.LayoutWhen(arms, otherwise, span=tok.span.merge(end))
+        if tok.kind in _BOUNDARY_SIDES:
+            side = _BOUNDARY_SIDES[self.advance().kind]
+            body: list[ast.LayoutStmt] = []
+            while self.tok.kind in (_K.IDENT,):
+                pin = self.parse_designator()
+                body.append(ast.LayoutBasic(None, pin, span=pin.span))
+                if not self.accept(_K.SEMICOLON):
+                    break
+                if self.tok.kind in _BOUNDARY_SIDES or self.tok.kind in _STMT_FOLLOW:
+                    # Hand the separator back to the caller's list loop.
+                    self.idx -= 1
+                    break
+            return ast.LayoutBoundary(side, body, span=tok.span)
+        if tok.kind is _K.WITH:
+            self.advance()
+            signal = self.parse_designator()
+            self.expect(_K.DO, "DO")
+            body = self.parse_layout_list()
+            end = self.expect(_K.END, "END").span
+            return ast.LayoutWith(signal, body, span=tok.span.merge(end))
+        if tok.kind is _K.IDENT:
+            orientation: str | None = None
+            if tok.text in ORIENTATIONS and self.peek().kind is _K.IDENT:
+                orientation = self.advance().text
+            signal = self.parse_designator()
+            replacement: ast.TypeExpr | None = None
+            if self.accept(_K.EQ):
+                replacement = self.parse_type()
+            return ast.LayoutBasic(
+                orientation, signal, replacement, span=tok.span.merge(signal.span)
+            )
+        if tok.kind is _K.SEMICOLON or tok.kind in _STMT_FOLLOW:
+            return None
+        raise ParseError(f"expected layout statement, found {tok.text!r}", tok.span)
+
+
+def parse(source: SourceText | str) -> ast.Program:
+    """Parse a complete Zeus program text."""
+    return Parser(source).parse_program()
+
+
+def parse_expression(source: SourceText | str) -> ast.Expr:
+    """Parse a single Zeus expression (test/tooling helper)."""
+    parser = Parser(source)
+    expr = parser.parse_expression()
+    parser.expect(TokenKind.EOF, "end of input")
+    return expr

@@ -1,0 +1,227 @@
+"""Pretty-printer: AST back to concrete Zeus syntax.
+
+Supports tooling (formatting, program generation, golden tests) and the
+round-trip property ``parse(print(parse(text))) == parse(text)`` that the
+test suite checks over every bundled program.
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+_INDENT = "    "
+
+
+def print_program(program: ast.Program) -> str:
+    out: list[str] = []
+    pending: str | None = None
+    for decl in program.decls:
+        kind = type(decl).__name__
+        keyword = {
+            "ConstDecl": "CONST",
+            "TypeDecl": "TYPE",
+            "SignalDecl": "SIGNAL",
+        }[kind]
+        if pending != keyword:
+            out.append(keyword)
+            pending = keyword
+        out.append(_print_decl(decl, 1))
+    return "\n".join(out) + "\n"
+
+
+def _print_decl(decl: ast.Decl, depth: int) -> str:
+    pad = _INDENT * depth
+    if isinstance(decl, ast.ConstDecl):
+        return f"{pad}{decl.name} = {print_expr(decl.value)};"
+    if isinstance(decl, ast.TypeDecl):
+        params = f"({', '.join(decl.params)})" if decl.params else ""
+        return f"{pad}{decl.name}{params} = {print_type(decl.type, depth)};"
+    if isinstance(decl, ast.SignalDecl):
+        names = ", ".join(decl.names)
+        return f"{pad}{names}: {print_type(decl.type, depth)};"
+    raise TypeError(f"not a declaration: {decl!r}")
+
+
+def print_type(t: ast.TypeExpr, depth: int = 0) -> str:
+    if isinstance(t, ast.NamedType):
+        if t.args:
+            return f"{t.name}({', '.join(print_expr(a) for a in t.args)})"
+        return t.name
+    if isinstance(t, ast.ArrayType):
+        return (
+            f"ARRAY [{print_expr(t.lo)}..{print_expr(t.hi)}] "
+            f"OF {print_type(t.element, depth)}"
+        )
+    if isinstance(t, ast.ComponentType):
+        return _print_component(t, depth)
+    raise TypeError(f"not a type: {t!r}")
+
+
+def _print_component(t: ast.ComponentType, depth: int) -> str:
+    pad = _INDENT * depth
+    groups = []
+    for p in t.params:
+        mode = "" if p.mode is ast.Mode.INOUT else p.mode.value + " "
+        groups.append(f"{mode}{', '.join(p.names)}: {print_type(p.type, depth)}")
+    head = f"COMPONENT ({'; '.join(groups)})"
+    if t.header_layout:
+        head += " { " + _print_layout_list(t.header_layout, depth + 1) + " }"
+    if t.body is None and t.result is None:
+        return head
+    if t.result is not None:
+        head += f" : {print_type(t.result, depth)}"
+    lines = [head + " IS"]
+    if t.uses is not None:
+        lines.append(f"{pad}USES {', '.join(t.uses)};")
+    for d in t.decls:
+        keyword = {
+            "ConstDecl": "CONST",
+            "TypeDecl": "TYPE",
+            "SignalDecl": "SIGNAL",
+        }[type(d).__name__]
+        lines.append(f"{pad}{keyword} {_print_decl(d, 0).strip()}")
+    if t.layout:
+        lines.append(pad + "{ " + _print_layout_list(t.layout, depth + 1) + " }")
+    lines.append(f"{pad}BEGIN")
+    for s in t.body or []:
+        lines.append(print_stmt(s, depth + 1))
+    lines.append(f"{pad}END")
+    return "\n".join(lines)
+
+
+def print_stmt(s: ast.Stmt, depth: int) -> str:
+    pad = _INDENT * depth
+    if isinstance(s, ast.Assign):
+        return f"{pad}{print_expr(s.target)} {s.op} {print_expr(s.value)};"
+    if isinstance(s, ast.Connection):
+        if not s.actuals:
+            return f"{pad}{print_expr(s.signal)};"
+        actuals = ", ".join(print_expr(a) for a in s.actuals)
+        return f"{pad}{print_expr(s.signal)}({actuals});"
+    if isinstance(s, ast.If):
+        lines = []
+        for i, (cond, body) in enumerate(s.arms):
+            kw = "IF" if i == 0 else "ELSIF"
+            lines.append(f"{pad}{kw} {print_expr(cond)} THEN")
+            lines.extend(print_stmt(b, depth + 1) for b in body)
+        if s.else_body:
+            lines.append(f"{pad}ELSE")
+            lines.extend(print_stmt(b, depth + 1) for b in s.else_body)
+        lines.append(f"{pad}END;")
+        return "\n".join(lines)
+    if isinstance(s, ast.For):
+        direction = "DOWNTO" if s.downto else "TO"
+        seq = " SEQUENTIALLY" if s.sequentially else ""
+        lines = [
+            f"{pad}FOR {s.var} := {print_expr(s.lo)} {direction} "
+            f"{print_expr(s.hi)} DO{seq}"
+        ]
+        lines.extend(print_stmt(b, depth + 1) for b in s.body)
+        lines.append(f"{pad}END;")
+        return "\n".join(lines)
+    if isinstance(s, ast.WhenGen):
+        lines = []
+        for i, (cond, body) in enumerate(s.arms):
+            kw = "WHEN" if i == 0 else "OTHERWISEWHEN"
+            lines.append(f"{pad}{kw} {print_expr(cond)} THEN")
+            lines.extend(print_stmt(b, depth + 1) for b in body)
+        if s.otherwise:
+            lines.append(f"{pad}OTHERWISE")
+            lines.extend(print_stmt(b, depth + 1) for b in s.otherwise)
+        lines.append(f"{pad}END;")
+        return "\n".join(lines)
+    if isinstance(s, ast.Sequential):
+        body = "\n".join(print_stmt(b, depth + 1) for b in s.body)
+        return f"{pad}SEQUENTIAL\n{body}\n{pad}END;"
+    if isinstance(s, ast.Parallel):
+        body = "\n".join(print_stmt(b, depth + 1) for b in s.body)
+        return f"{pad}PARALLEL\n{body}\n{pad}END;"
+    if isinstance(s, ast.With):
+        body = "\n".join(print_stmt(b, depth + 1) for b in s.body)
+        return f"{pad}WITH {print_expr(s.signal)} DO\n{body}\n{pad}END;"
+    if isinstance(s, ast.Result):
+        return f"{pad}RESULT {print_expr(s.value)};"
+    if isinstance(s, ast.EmptyStmt):
+        return f"{pad};"
+    raise TypeError(f"not a statement: {s!r}")
+
+
+def _print_layout_list(stmts: list[ast.LayoutStmt], depth: int) -> str:
+    return "; ".join(_print_layout(s, depth) for s in stmts)
+
+
+def _print_layout(s: ast.LayoutStmt, depth: int) -> str:
+    if isinstance(s, ast.LayoutBasic):
+        text = print_expr(s.signal)
+        if s.orientation:
+            text = f"{s.orientation} {text}"
+        if s.replacement is not None:
+            text += f" = {print_type(s.replacement, depth)}"
+        return text
+    if isinstance(s, ast.LayoutOrder):
+        return f"ORDER {s.direction} {_print_layout_list(s.body, depth)} END"
+    if isinstance(s, ast.LayoutFor):
+        direction = "DOWNTO" if s.downto else "TO"
+        return (
+            f"FOR {s.var} := {print_expr(s.lo)} {direction} {print_expr(s.hi)} "
+            f"DO {_print_layout_list(s.body, depth)} END"
+        )
+    if isinstance(s, ast.LayoutWhen):
+        parts = []
+        for i, (cond, body) in enumerate(s.arms):
+            kw = "WHEN" if i == 0 else "OTHERWISEWHEN"
+            parts.append(f"{kw} {print_expr(cond)} THEN {_print_layout_list(body, depth)}")
+        if s.otherwise:
+            parts.append(f"OTHERWISE {_print_layout_list(s.otherwise, depth)}")
+        return " ".join(parts) + " END"
+    if isinstance(s, ast.LayoutBoundary):
+        return f"{s.side.upper()} {_print_layout_list(s.body, depth)}"
+    if isinstance(s, ast.LayoutWith):
+        return f"WITH {print_expr(s.signal)} DO {_print_layout_list(s.body, depth)} END"
+    raise TypeError(f"not a layout statement: {s!r}")
+
+
+def print_expr(e: ast.Expr) -> str:
+    if isinstance(e, ast.NumberLit):
+        return str(e.value)
+    if isinstance(e, ast.LogicLit):
+        return e.value
+    if isinstance(e, ast.Name):
+        return e.ident
+    if isinstance(e, ast.Index):
+        return f"{print_expr(e.base)}[{print_expr(e.index)}]"
+    if isinstance(e, ast.IndexRange):
+        return f"{print_expr(e.base)}[{print_expr(e.lo)}..{print_expr(e.hi)}]"
+    if isinstance(e, ast.IndexNum):
+        return f"{print_expr(e.base)}[NUM({print_expr(e.selector)})]"
+    if isinstance(e, ast.Field):
+        return f"{print_expr(e.base)}.{e.name}"
+    if isinstance(e, ast.FieldRange):
+        return f"{print_expr(e.base)}.{e.first}..{e.last}"
+    if isinstance(e, ast.Star):
+        if e.width is not None:
+            return f"* : {print_expr(e.width)}"
+        return "*"
+    if isinstance(e, ast.Tuple_):
+        return "(" + ", ".join(print_expr(i) for i in e.items) + ")"
+    if isinstance(e, ast.Call):
+        head = print_expr(e.func)
+        if e.type_args:
+            head += "[" + ", ".join(print_expr(a) for a in e.type_args) + "]"
+        return f"{head}({', '.join(print_expr(a) for a in e.args)})"
+    if isinstance(e, ast.BinCall):
+        return f"BIN({print_expr(e.value)}, {print_expr(e.width)})"
+    if isinstance(e, ast.Unary):
+        if e.op == "NOT":
+            return f"NOT {_paren(e.operand)}"
+        return f"{e.op}{_paren(e.operand)}"
+    if isinstance(e, ast.Binary):
+        return f"({print_expr(e.left)} {e.op} {print_expr(e.right)})"
+    raise TypeError(f"not an expression: {e!r}")
+
+
+def _paren(e: ast.Expr) -> str:
+    text = print_expr(e)
+    if isinstance(e, (ast.Binary, ast.Unary)):
+        return f"({text})"
+    return text

@@ -1,0 +1,87 @@
+"""Source text handling: positions, spans and line/column mapping.
+
+Every token and AST node carries a :class:`Span` into the original source so
+that diagnostics can point at the offending text.  A :class:`SourceText`
+wraps the raw program text together with an optional file name and provides
+offset -> (line, column) conversion.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Position:
+    """A (line, column) pair, both 1-based."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open byte range ``[start, end)`` into a source text."""
+
+    start: int
+    end: int
+
+    def merge(self, other: "Span") -> "Span":
+        """Smallest span covering both ``self`` and ``other``."""
+        return Span(min(self.start, other.start), max(self.end, other.end))
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+#: Span used for synthesized nodes that have no source location.
+NO_SPAN = Span(0, 0)
+
+
+@dataclass
+class SourceText:
+    """A program text plus the bookkeeping needed for diagnostics."""
+
+    text: str
+    name: str = "<string>"
+    _line_starts: list[int] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        starts = [0]
+        for i, ch in enumerate(self.text):
+            if ch == "\n":
+                starts.append(i + 1)
+        self._line_starts = starts
+
+    def position(self, offset: int) -> Position:
+        """Convert a byte offset to a 1-based line/column position."""
+        offset = max(0, min(offset, len(self.text)))
+        line = bisect.bisect_right(self._line_starts, offset) - 1
+        return Position(line + 1, offset - self._line_starts[line] + 1)
+
+    def line_text(self, line: int) -> str:
+        """Return the text of a 1-based line number, without the newline."""
+        if not 1 <= line <= len(self._line_starts):
+            return ""
+        start = self._line_starts[line - 1]
+        end = self.text.find("\n", start)
+        if end < 0:
+            end = len(self.text)
+        return self.text[start:end]
+
+    def snippet(self, span: Span) -> str:
+        """The raw text covered by *span*."""
+        return self.text[span.start : span.end]
+
+    def caret_diagram(self, span: Span) -> str:
+        """Render the offending line with a caret underline, gcc-style."""
+        pos = self.position(span.start)
+        line = self.line_text(pos.line)
+        width = max(1, min(span.length, len(line) - pos.column + 1))
+        underline = " " * (pos.column - 1) + "^" * width
+        return f"{line}\n{underline}"

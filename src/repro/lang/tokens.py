@@ -1,0 +1,141 @@
+"""Token kinds and the Zeus vocabulary (paper section 2).
+
+Keywords are the exact uppercase reserved words listed in the paper;
+identifiers are case-sensitive, so ``array`` is a legal identifier while
+``ARRAY`` is reserved.  Predefined objects such as ``REG``, ``XOR`` or
+``EQUAL`` are *identifiers* bound in the standard environment, not
+keywords -- exactly as in the report, whose keyword list omits them
+(``BIN`` and ``NUM`` however appear in the grammar and are reserved).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from .source import Span
+
+
+class TokenKind(Enum):
+    # literals / names
+    IDENT = auto()
+    NUMBER = auto()
+
+    # punctuation and operators
+    PLUS = auto()          # +
+    MINUS = auto()         # -
+    STAR = auto()          # *  (multiplication / "no connection")
+    LPAREN = auto()        # (
+    RPAREN = auto()        # )
+    LBRACKET = auto()      # [
+    RBRACKET = auto()      # ]
+    LBRACE = auto()        # {  (layout statement list)
+    RBRACE = auto()        # }
+    DOT = auto()           # .
+    DOTDOT = auto()        # ..
+    COMMA = auto()         # ,
+    SEMICOLON = auto()     # ;
+    COLON = auto()         # :
+    EQ = auto()            # =
+    NEQ = auto()           # <>
+    LT = auto()            # <
+    LE = auto()            # <=
+    GT = auto()            # >
+    GE = auto()            # >=
+    ASSIGN = auto()        # :=
+    ALIAS = auto()         # ==
+
+    # keywords
+    AND = auto()
+    ARRAY = auto()
+    BEGIN = auto()
+    BIN = auto()
+    BOTTOM = auto()
+    CLK = auto()
+    COMPONENT = auto()
+    CONST = auto()
+    DIV = auto()
+    DO = auto()
+    DOWNTO = auto()
+    ELSE = auto()
+    ELSIF = auto()
+    END = auto()
+    FOR = auto()
+    IF = auto()
+    IN = auto()
+    IS = auto()
+    LEFT = auto()
+    MOD = auto()
+    NOT = auto()
+    NUM = auto()
+    OF = auto()
+    OR = auto()
+    ORDER = auto()
+    OTHERWISE = auto()
+    OTHERWISEWHEN = auto()
+    OUT = auto()
+    PARALLEL = auto()
+    RSET = auto()
+    RESULT = auto()
+    RIGHT = auto()
+    SEQUENTIAL = auto()
+    SEQUENTIALLY = auto()
+    SIGNAL = auto()
+    THEN = auto()
+    TO = auto()
+    TOP = auto()
+    TYPE = auto()
+    USES = auto()
+    WHEN = auto()
+    WITH = auto()
+
+    EOF = auto()
+
+
+#: Reserved words of section 2, mapped to their token kinds.
+KEYWORDS: dict[str, TokenKind] = {
+    kw: TokenKind[kw]
+    for kw in (
+        "AND ARRAY BEGIN BIN BOTTOM CLK COMPONENT CONST DIV DO DOWNTO "
+        "ELSE ELSIF END FOR IF IN IS LEFT MOD NOT NUM OF OR ORDER "
+        "OTHERWISE OTHERWISEWHEN OUT PARALLEL RSET RESULT RIGHT "
+        "SEQUENTIAL SEQUENTIALLY SIGNAL THEN TO TOP TYPE USES WHEN WITH"
+    ).split()
+}
+
+#: Multi-character symbols, longest first so the lexer can greedily match.
+SYMBOLS: list[tuple[str, TokenKind]] = [
+    (":=", TokenKind.ASSIGN),
+    ("==", TokenKind.ALIAS),
+    ("<=", TokenKind.LE),
+    (">=", TokenKind.GE),
+    ("<>", TokenKind.NEQ),
+    ("..", TokenKind.DOTDOT),
+    ("+", TokenKind.PLUS),
+    ("-", TokenKind.MINUS),
+    ("*", TokenKind.STAR),
+    ("(", TokenKind.LPAREN),
+    (")", TokenKind.RPAREN),
+    ("[", TokenKind.LBRACKET),
+    ("]", TokenKind.RBRACKET),
+    ("{", TokenKind.LBRACE),
+    ("}", TokenKind.RBRACE),
+    (".", TokenKind.DOT),
+    (",", TokenKind.COMMA),
+    (";", TokenKind.SEMICOLON),
+    (":", TokenKind.COLON),
+    ("=", TokenKind.EQ),
+    ("<", TokenKind.LT),
+    (">", TokenKind.GT),
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    span: Span
+    value: int | None = None  # numeric value for NUMBER tokens
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.text!r})"

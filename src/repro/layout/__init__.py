@@ -1,0 +1,16 @@
+"""The Zeus layout language (paper section 6): slicing floorplans,
+dihedral orientations, boundary pins and virtual-signal replacement."""
+
+from .floorplan import LayoutEngine, Placed, compute_layout
+from .geometry import IDENTITY, ORIENTATIONS, Rect, Transform, orientation
+
+__all__ = [
+    "IDENTITY",
+    "LayoutEngine",
+    "ORIENTATIONS",
+    "Placed",
+    "Rect",
+    "Transform",
+    "compute_layout",
+    "orientation",
+]

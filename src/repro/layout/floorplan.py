@@ -1,0 +1,444 @@
+"""The layout interpreter (paper section 6): slicing floorplans.
+
+Each component instance with layout statements gets a floorplan computed
+bottom-up:
+
+* an ``ORDER direction s1; ...; sn END`` arranges the sub-floorplans
+  adjacently along the direction of separation (the four axis directions
+  pack side by side; the four diagonal directions produce staircases --
+  the paper's Snake figure);
+* ``FOR`` / ``WHEN`` are the meta language, exactly as in the statement
+  part;
+* an orientation change applies a dihedral transform to the cell;
+* a boundary statement (``TOP``/``RIGHT``/``BOTTOM``/``LEFT``) records
+  which pins sit on which edge;
+* a ``signal = type`` basic statement is a *replacement* -- already
+  executed during elaboration, here it simply places the replaced cell.
+
+Rules the paper leaves open, resolved here (documented in DESIGN.md):
+
+* a layout statement list with several items and no ORDER stacks them
+  top-to-bottom;
+* forced sub-instances never mentioned in the layout are appended in a
+  default top-to-bottom stack (so every generated cell is placed);
+* instances that were never generated (lazy signals never referenced --
+  the recursion terminator) are silently skipped;
+* a component with no layout and no sub-instances is a 1x1 primitive
+  cell, as is a REG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.consteval import eval_condition, eval_int
+from ..core.elaborate import Design
+from ..core.sigtree import (
+    ArrayTree,
+    CompTree,
+    LazyTree,
+    SigTree,
+    VirtualTree,
+)
+from ..core.symbols import Env, LoopVar, SignalBinding
+from ..core.types import ComponentV
+from ..lang import ast
+from ..lang.errors import LayoutError
+from .geometry import IDENTITY, Rect, Transform, orientation
+
+_AXIS_DIRECTIONS = {
+    "lefttoright": (1, 0),
+    "righttoleft": (-1, 0),
+    "toptobottom": (0, 1),
+    "bottomtotop": (0, -1),
+}
+
+_DIAGONAL_DIRECTIONS = {
+    "toplefttobottomright": (1, 1),
+    "bottomrighttotopleft": (-1, -1),
+    "toprighttobottomleft": (-1, 1),
+    "bottomlefttotopright": (1, -1),
+}
+
+
+@dataclass
+class Placed:
+    """One placed cell: an instance (or group) with its rectangle in the
+    parent's coordinate system."""
+
+    name: str
+    rect: Rect
+    orientation: str | None = None
+    children: list["Placed"] = field(default_factory=list)
+    pins: dict[str, list[str]] = field(default_factory=dict)
+
+    @property
+    def area(self) -> int:
+        return self.rect.area
+
+    @property
+    def width(self) -> int:
+        return self.rect.w
+
+    @property
+    def height(self) -> int:
+        return self.rect.h
+
+    def iter_cells(self, ox: int = 0, oy: int = 0):
+        """Yield (path, absolute Rect) for every leaf cell."""
+        here = self.rect.translate(ox, oy)
+        if not self.children:
+            yield (self.name, here)
+            return
+        for child in self.children:
+            yield from child.iter_cells(here.x, here.y)
+
+    def leaf_count(self) -> int:
+        return sum(1 for _ in self.iter_cells())
+
+    def render_text(self) -> str:
+        """A coarse ASCII rendering of the leaf cells on the unit grid."""
+        cells = list(self.iter_cells())
+        if not cells:
+            return "(empty)"
+        width = max(r.x2 for _, r in cells)
+        height = max(r.y2 for _, r in cells)
+        grid = [["." for _ in range(width)] for _ in range(height)]
+        for idx, (name, r) in enumerate(cells):
+            mark = name.rsplit(".", 1)[-1][:1] or "#"
+            for y in range(r.y, min(r.y2, height)):
+                for x in range(r.x, min(r.x2, width)):
+                    grid[y][x] = mark
+        return "\n".join("".join(row) for row in grid)
+
+    def render_svg(self, scale: int = 24) -> str:
+        """A simple SVG of the leaf cells (one rect per cell)."""
+        cells = list(self.iter_cells())
+        w = max((r.x2 for _, r in cells), default=1) * scale
+        h = max((r.y2 for _, r in cells), default=1) * scale
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" '
+            f'viewBox="0 0 {w} {h}">'
+        ]
+        for name, r in cells:
+            parts.append(
+                f'<rect x="{r.x * scale}" y="{r.y * scale}" '
+                f'width="{r.w * scale}" height="{r.h * scale}" '
+                f'fill="#e8e8f8" stroke="#334" stroke-width="1">'
+                f"<title>{name}</title></rect>"
+            )
+        parts.append("</svg>")
+        return "".join(parts)
+
+
+class LayoutEngine:
+    """Computes the slicing floorplan of a design bottom-up."""
+
+    def __init__(self, design: Design):
+        self.design = design
+        self._cache: dict[int, Placed] = {}
+
+    def floorplan(self, inst: CompTree | None = None) -> Placed:
+        if inst is None:
+            inst = self.design.top
+        key = id(inst)
+        if key not in self._cache:
+            self._cache[key] = self._plan_instance(inst)
+        return self._cache[key]
+
+    # ------------------------------------------------------------------
+
+    def _plan_instance(self, inst: CompTree) -> Placed:
+        comp = inst.type
+        assert isinstance(comp, ComponentV)
+        decl = comp.decl_ast
+        stmts: list[ast.LayoutStmt] = []
+        if decl is not None:
+            stmts = list(decl.header_layout) + list(decl.layout)
+        env = inst.local_env
+        placed_children: list[Placed] = []
+        placed_ids: set[int] = set()
+        pins: dict[str, list[str]] = {}
+        if stmts and env is not None:
+            group = self._plan_list(stmts, env, placed_ids, pins)
+            placed_children.extend(group)
+        # Default stack for forced sub-instances not mentioned in layout.
+        stragglers = [
+            sub
+            for sub in self._sub_instances(inst, env)
+            if id(sub) not in placed_ids
+            and not _contains_placed(sub, placed_ids)
+        ]
+        for sub in stragglers:
+            placed_children.append(self._place_sub(sub, None, placed_ids))
+        if not placed_children:
+            return Placed(inst.path, Rect(0, 0, 1, 1), pins=pins)
+        arranged = _arrange(placed_children, "toptobottom" if not stmts else None)
+        return Placed(inst.path, arranged.rect, children=arranged.children, pins=pins)
+
+    def _sub_instances(self, inst: CompTree, env: Env | None) -> list[CompTree]:
+        """Forced component instances declared locally in *inst* (including
+        nested instance-typed pins), in declaration order."""
+        out: list[CompTree] = []
+        seen: set[int] = set()
+
+        def walk(tree: SigTree) -> None:
+            if isinstance(tree, LazyTree):
+                if not tree.is_forced:
+                    return
+                walk(tree.force())
+                return
+            if isinstance(tree, VirtualTree):
+                if tree.replaced is not None:
+                    walk(tree.replaced)
+                return
+            if isinstance(tree, ArrayTree):
+                for e in tree.elems:
+                    walk(e)
+                return
+            if isinstance(tree, CompTree):
+                if tree.is_instance and id(tree) not in seen:
+                    seen.add(id(tree))
+                    out.append(tree)
+                elif not tree.is_instance:
+                    for f in tree.fields.values():
+                        walk(f)
+
+        # Nested instance-typed pins of the instance itself.
+        for f in inst.fields.values():
+            walk(f)
+        if env is not None:
+            for binding in env.bindings.values():
+                if isinstance(binding, SignalBinding):
+                    walk(binding.tree)
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _plan_list(
+        self,
+        stmts: list[ast.LayoutStmt],
+        env: Env,
+        placed_ids: set[int],
+        pins: dict[str, list[str]],
+    ) -> list[Placed]:
+        out: list[Placed] = []
+        for s in stmts:
+            out.extend(self._plan_stmt(s, env, placed_ids, pins))
+        return out
+
+    def _plan_stmt(
+        self,
+        s: ast.LayoutStmt,
+        env: Env,
+        placed_ids: set[int],
+        pins: dict[str, list[str]],
+    ) -> list[Placed]:
+        if isinstance(s, ast.LayoutOrder):
+            items = self._plan_list(s.body, env, placed_ids, pins)
+            if not items:
+                return []
+            return [_arrange(items, s.direction)]
+        if isinstance(s, ast.LayoutFor):
+            lo = eval_int(s.lo, env)
+            hi = eval_int(s.hi, env)
+            values = range(lo, hi - 1, -1) if s.downto else range(lo, hi + 1)
+            out: list[Placed] = []
+            for v in values:
+                child = env.child()
+                child.bind(s.var, LoopVar(v), s.span)
+                out.extend(self._plan_list(s.body, child, placed_ids, pins))
+            return out
+        if isinstance(s, ast.LayoutWhen):
+            for cond, body in s.arms:
+                if eval_condition(cond, env):
+                    return self._plan_list(body, env, placed_ids, pins)
+            return self._plan_list(s.otherwise, env, placed_ids, pins)
+        if isinstance(s, ast.LayoutBoundary):
+            names = []
+            for sub in s.body:
+                if isinstance(sub, ast.LayoutBasic):
+                    names.append(_designator_text(sub.signal))
+            pins.setdefault(s.side, []).extend(names)
+            return []
+        if isinstance(s, ast.LayoutWith):
+            tree = self._resolve(s.signal, env)
+            if tree is None:
+                return []
+            if isinstance(tree, LazyTree):
+                tree = tree.force()
+            if not isinstance(tree, CompTree):
+                raise LayoutError("WITH requires a component signal", s.span)
+            child = env.child()
+            for p in tree.type.params:
+                child.bind(p.name, SignalBinding(tree.fields[p.name]), s.span)
+            return self._plan_list(s.body, child, placed_ids, pins)
+        if isinstance(s, ast.LayoutBasic):
+            tree = self._resolve(s.signal, env)
+            if tree is None:
+                return []  # never-generated hardware: skip
+            cells = self._collect_instances(tree)
+            return [
+                self._place_sub(c, s.orientation, placed_ids) for c in cells
+            ]
+        raise LayoutError("unknown layout statement", s.span)
+
+    def _place_sub(
+        self, sub: CompTree, orient: str | None, placed_ids: set[int]
+    ) -> Placed:
+        placed_ids.add(id(sub))
+        inner = self.floorplan(sub)
+        if orient is None:
+            return Placed(sub.path, Rect(0, 0, inner.width, inner.height),
+                          children=inner.children or [], pins=inner.pins)
+        t = orientation(orient)
+        w, h = t.size(inner.width, inner.height)
+        return Placed(
+            sub.path,
+            Rect(0, 0, w, h),
+            orientation=orient,
+            children=_transform_children(inner, t),
+            pins=inner.pins,
+        )
+
+    def _collect_instances(self, tree: SigTree) -> list[CompTree]:
+        if isinstance(tree, LazyTree):
+            if not tree.is_forced:
+                return []
+            return self._collect_instances(tree.force())
+        if isinstance(tree, VirtualTree):
+            if tree.replaced is None:
+                return []
+            return self._collect_instances(tree.replaced)
+        if isinstance(tree, ArrayTree):
+            out: list[CompTree] = []
+            for e in tree.elems:
+                out.extend(self._collect_instances(e))
+            return out
+        if isinstance(tree, CompTree) and tree.is_instance:
+            return [tree]
+        return []
+
+    def _resolve(self, expr: ast.Expr, env: Env) -> SigTree | None:
+        """Resolve a layout designator without forcing lazy instances."""
+        if isinstance(expr, ast.Name):
+            binding = env._lookup(expr.ident)
+            if binding is None or not isinstance(binding, SignalBinding):
+                return None
+            return binding.tree
+        if isinstance(expr, ast.Index):
+            base = self._resolve(expr.base, env)
+            if base is None:
+                return None
+            if isinstance(base, LazyTree):
+                if not base.is_forced:
+                    return None
+                base = base.force()
+            return base.index(eval_int(expr.index, env), expr.span)
+        if isinstance(expr, ast.IndexRange):
+            base = self._resolve(expr.base, env)
+            if base is None:
+                return None
+            return base.slice(
+                eval_int(expr.lo, env), eval_int(expr.hi, env), expr.span
+            )
+        if isinstance(expr, ast.Field):
+            base = self._resolve(expr.base, env)
+            if base is None:
+                return None
+            if isinstance(base, LazyTree):
+                if not base.is_forced:
+                    return None
+                base = base.force()
+            return base.field(expr.name, expr.span)
+        raise LayoutError("unsupported layout designator", expr.span)
+
+
+def _contains_placed(inst: CompTree, placed_ids: set[int]) -> bool:
+    """True when a nested sub-instance of *inst* (e.g. the comparator pin
+    of a pattern-matcher cell) was already placed by a layout statement --
+    then *inst* itself must not be re-stacked as a straggler."""
+    for sub in inst.fields.values():
+        if isinstance(sub, LazyTree):
+            if not sub.is_forced:
+                continue
+            sub = sub.force()
+        if isinstance(sub, CompTree):
+            if id(sub) in placed_ids or _contains_placed(sub, placed_ids):
+                return True
+    return False
+
+
+def _transform_children(inner: Placed, t: Transform) -> list[Placed]:
+    out: list[Placed] = []
+    for child in inner.children:
+        rect = t.apply_rect(child.rect, inner.width, inner.height)
+        out.append(
+            Placed(child.name, rect, child.orientation, child.children, child.pins)
+        )
+    return out
+
+
+def _arrange(items: list[Placed], direction: str | None) -> Placed:
+    """Pack *items* along a direction of separation; None overlays a
+    single item or stacks several top-to-bottom."""
+    if direction is None:
+        if len(items) == 1:
+            return items[0]
+        direction = "toptobottom"
+    if direction in _AXIS_DIRECTIONS:
+        dx, dy = _AXIS_DIRECTIONS[direction]
+        seq = items if (dx, dy) in ((1, 0), (0, 1)) else list(reversed(items))
+        placed: list[Placed] = []
+        offset = 0
+        for item in seq:
+            if dy == 0:
+                rect = Rect(offset, 0, item.width, item.height)
+                offset += item.width
+            else:
+                rect = Rect(0, offset, item.width, item.height)
+                offset += item.height
+            placed.append(
+                Placed(item.name, rect, item.orientation, item.children, item.pins)
+            )
+        w = max(p.rect.x2 for p in placed)
+        h = max(p.rect.y2 for p in placed)
+        return Placed("", Rect(0, 0, w, h), children=placed)
+    if direction in _DIAGONAL_DIRECTIONS:
+        dx, dy = _DIAGONAL_DIRECTIONS[direction]
+        seq = items if dx > 0 else list(reversed(items))
+        placed = []
+        ox = oy = 0
+        for item in seq:
+            rect = Rect(ox, oy if dy > 0 else -oy - item.height, item.width, item.height)
+            ox += item.width
+            oy += item.height
+            placed.append(
+                Placed(item.name, rect, item.orientation, item.children, item.pins)
+            )
+        minx = min(p.rect.x for p in placed)
+        miny = min(p.rect.y for p in placed)
+        placed = [
+            Placed(p.name, p.rect.translate(-minx, -miny), p.orientation,
+                   p.children, p.pins)
+            for p in placed
+        ]
+        w = max(p.rect.x2 for p in placed)
+        h = max(p.rect.y2 for p in placed)
+        return Placed("", Rect(0, 0, w, h), children=placed)
+    raise LayoutError(f"unknown direction of separation {direction!r}")
+
+
+def _designator_text(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.Name):
+        return expr.ident
+    if isinstance(expr, ast.Field):
+        return f"{_designator_text(expr.base)}.{expr.name}"
+    if isinstance(expr, ast.Index):
+        return f"{_designator_text(expr.base)}[...]"
+    return "<pin>"
+
+
+def compute_layout(design: Design) -> Placed:
+    """Floorplan of the design's top instance."""
+    return LayoutEngine(design).floorplan()

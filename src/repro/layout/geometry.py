@@ -1,0 +1,125 @@
+"""Geometry for the layout language: rectangles and the dihedral group.
+
+The paper's layout semantics is purely *relative* ("x1 is left of x2"
+means the bounding rectangles are disjoint along x), so the engine works
+in abstract integer grid units: primitive cells are 1x1, composite cells
+are the bounding boxes of their slicing arrangements.
+
+Orientation changes (section 6.3) are the seven non-identity elements of
+the dihedral group D4, acting counter-clockwise on the cell:
+
+* ``rotate90``, ``rotate180``, ``rotate270`` -- rotations;
+* ``flip0``   -- mirror about the horizontal axis (y -> -y);
+* ``flip90``  -- mirror about the vertical axis (x -> -x);
+* ``flip45``, ``flip135`` -- mirrors about the two diagonals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle with integer origin and size."""
+
+    x: int
+    y: int
+    w: int
+    h: int
+
+    @property
+    def x2(self) -> int:
+        return self.x + self.w
+
+    @property
+    def y2(self) -> int:
+        return self.y + self.h
+
+    @property
+    def area(self) -> int:
+        return self.w * self.h
+
+    def translate(self, dx: int, dy: int) -> "Rect":
+        return Rect(self.x + dx, self.y + dy, self.w, self.h)
+
+    def overlaps(self, other: "Rect") -> bool:
+        return (
+            self.x < other.x2
+            and other.x < self.x2
+            and self.y < other.y2
+            and other.y < self.y2
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        x = min(self.x, other.x)
+        y = min(self.y, other.y)
+        return Rect(x, y, max(self.x2, other.x2) - x, max(self.y2, other.y2) - y)
+
+
+@dataclass(frozen=True)
+class Transform:
+    """An element of D4 as an integer 2x2 matrix (column-major action:
+    (x, y) -> (xx*x + xy*y, yx*x + yy*y))."""
+
+    xx: int
+    xy: int
+    yx: int
+    yy: int
+
+    def apply(self, x: int, y: int) -> tuple[int, int]:
+        return (self.xx * x + self.xy * y, self.yx * x + self.yy * y)
+
+    def compose(self, other: "Transform") -> "Transform":
+        """self after other."""
+        return Transform(
+            self.xx * other.xx + self.xy * other.yx,
+            self.xx * other.xy + self.xy * other.yy,
+            self.yx * other.xx + self.yy * other.yx,
+            self.yx * other.xy + self.yy * other.yy,
+        )
+
+    @property
+    def swaps_axes(self) -> bool:
+        return self.xx == 0
+
+    def size(self, w: int, h: int) -> tuple[int, int]:
+        """Bounding size of a w x h cell after this transform."""
+        return (h, w) if self.swaps_axes else (w, h)
+
+    def apply_rect(self, rect: Rect, w: int, h: int) -> Rect:
+        """Transform *rect* inside a w x h cell, renormalising so the
+        cell's bounding box stays anchored at the origin."""
+        corners = [
+            self.apply(rect.x, rect.y),
+            self.apply(rect.x2, rect.y2),
+        ]
+        xs = sorted(c[0] for c in corners)
+        ys = sorted(c[1] for c in corners)
+        # Shift so the transformed w x h cell sits at (0, 0).
+        cell = [self.apply(0, 0), self.apply(w, h)]
+        ox = min(c[0] for c in cell)
+        oy = min(c[1] for c in cell)
+        return Rect(xs[0] - ox, ys[0] - oy, xs[1] - xs[0], ys[1] - ys[0])
+
+
+IDENTITY = Transform(1, 0, 0, 1)
+
+#: The seven named orientation changes (counter-clockwise rotations;
+#: flip<angle> mirrors about the axis at that angle).
+ORIENTATIONS: dict[str, Transform] = {
+    "rotate90": Transform(0, -1, 1, 0),
+    "rotate180": Transform(-1, 0, 0, -1),
+    "rotate270": Transform(0, 1, -1, 0),
+    "flip0": Transform(1, 0, 0, -1),
+    "flip90": Transform(-1, 0, 0, 1),
+    "flip45": Transform(0, 1, 1, 0),
+    "flip135": Transform(0, -1, -1, 0),
+}
+
+
+def orientation(name: str) -> Transform:
+    try:
+        return ORIENTATIONS[name]
+    except KeyError:
+        raise ValueError(f"unknown orientation change {name!r}") from None

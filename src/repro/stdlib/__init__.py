@@ -1,0 +1,9 @@
+"""The Zeus standard distribution: the paper's example programs, the
+extension circuits (AM2901, systolic stack, dictionary machine), and a
+reusable block library."""
+
+from . import extras, library, programs
+from .extras import EXTRA_PROGRAMS
+from .programs import ALL_PROGRAMS
+
+__all__ = ["ALL_PROGRAMS", "EXTRA_PROGRAMS", "extras", "library", "programs"]

@@ -1,0 +1,376 @@
+"""Extension circuits for the language test cases the abstract lists:
+"AM2901, dictionary machines, systolic stacks" (experiment E11).
+
+The report does not give listings for these, so each is an original Zeus
+program in the paper's style, exercising the same constructs:
+
+* :data:`SYSTOLIC_STACK` -- a Guibas/Liang-style stack: a register array
+  shifting under push/pop commands with occupancy bits;
+* :data:`AM2901` -- a 4-bit ALU slice in the AM2901 tradition: a 16x4
+  register file (NUM-addressed REG RAM), a Q register, operand source
+  selection, eight ALU functions and destination control;
+* :data:`DICTIONARY` -- a content-addressable dictionary machine in the
+  Ottmann/Rosenberg/Stockmeyer spirit: keys stored at the leaves of a
+  binary tree, a broadcast query, and a pipelined OR-reduction tree of
+  registers (one level per cycle, throughput one query per cycle).
+"""
+
+from __future__ import annotations
+
+from .programs import PRELUDE
+
+SYSTOLIC_STACK = """
+TYPE bo(n) = ARRAY [1..n] OF boolean;
+reg(n) = ARRAY [1..n] OF REG;
+
+stack(depth, width) = COMPONENT (IN push, pop: boolean; IN din: bo(width);
+                                 OUT top: bo(width); OUT empty: boolean) IS
+SIGNAL cell: ARRAY [1..depth] OF reg(width);
+       occ: ARRAY [1..depth] OF REG;
+{ ORDER lefttoright FOR i := 1 TO depth DO cell[i] END END }
+BEGIN
+    IF RSET THEN
+        FOR i := 1 TO depth DO occ[i].in := 0 END;
+    ELSE
+        IF push THEN
+            cell[1].in := din;
+            occ[1].in := 1;
+            FOR i := 2 TO depth DO
+                cell[i].in := cell[i-1].out;
+                occ[i].in := occ[i-1].out;
+            END;
+        END;
+        IF pop THEN
+            FOR i := 1 TO depth-1 DO
+                cell[i].in := cell[i+1].out;
+                occ[i].in := occ[i+1].out;
+            END;
+            cell[depth].in := BIN(0, width);
+            occ[depth].in := 0;
+        END;
+    END;
+    top := cell[1].out;
+    empty := NOT occ[1].out
+END;
+
+SIGNAL stk: stack(8, 4);
+"""
+
+
+def systolic_stack(depth: int, width: int) -> str:
+    return SYSTOLIC_STACK.replace("stack(8, 4)", f"stack({depth}, {width})")
+
+
+AM2901 = PRELUDE + """
+TYPE addc(n) = COMPONENT (IN a, b: bo(n); IN cin: boolean) : bo(n+1) IS
+<* ripple sum with the carry as the extra top bit *>
+SIGNAL s: bo(n+1);
+       carry: ARRAY [1..n+1] OF boolean;
+BEGIN
+    carry[1] := cin;
+    FOR i := 1 TO n DO
+        carry[i+1] := OR(AND(a[i], b[i]), AND(XOR(a[i], b[i]), carry[i]));
+        s[i] := XOR(XOR(a[i], b[i]), carry[i])
+    END;
+    s[n+1] := carry[n+1];
+    RESULT s
+END;
+
+am2901 = COMPONENT (IN d: bo(4);            <* direct data input *>
+                    IN aaddr, baddr: bo(4); <* register file addresses *>
+                    IN src: bo(3);          <* operand source select *>
+                    IN func: bo(3);         <* ALU function select *>
+                    IN dest: bo(2);         <* destination control *>
+                    OUT y: bo(4);
+                    OUT cout, zero: boolean) IS
+SIGNAL ram: ARRAY [0..15] OF ARRAY [1..4] OF REG;
+       q: ARRAY [1..4] OF REG;
+       a, b: ARRAY [1..4] OF multiplex;
+       r, s: ARRAY [1..4] OF multiplex;
+       rb, sb, f: bo(4);
+       fc: ARRAY [1..5] OF multiplex;
+       coutm: multiplex;
+BEGIN
+    a := ram[NUM(aaddr)].out;
+    b := ram[NUM(baddr)].out;
+
+    <* operand sources: 0 AQ, 1 AB, 2 ZQ, 3 ZB, 4 ZA, 5 DA, 6 DQ, 7 DZ *>
+    IF EQUAL(src, BIN(0,3)) THEN r := a; s := q.out END;
+    IF EQUAL(src, BIN(1,3)) THEN r := a; s := b END;
+    IF EQUAL(src, BIN(2,3)) THEN r := BIN(0,4); s := q.out END;
+    IF EQUAL(src, BIN(3,3)) THEN r := BIN(0,4); s := b END;
+    IF EQUAL(src, BIN(4,3)) THEN r := BIN(0,4); s := a END;
+    IF EQUAL(src, BIN(5,3)) THEN r := d; s := a END;
+    IF EQUAL(src, BIN(6,3)) THEN r := d; s := q.out END;
+    IF EQUAL(src, BIN(7,3)) THEN r := d; s := BIN(0,4) END;
+    rb := r;
+    sb := s;
+
+    <* functions: 0 ADD, 1 SUBR (s-r), 2 SUBS (r-s), 3 OR, 4 AND,
+       5 NOTRS (NOT r AND s), 6 EXOR, 7 EXNOR *>
+    IF EQUAL(func, BIN(0,3)) THEN fc := addc[4](rb, sb, 0) END;
+    IF EQUAL(func, BIN(1,3)) THEN fc := addc[4](NOT rb, sb, 1) END;
+    IF EQUAL(func, BIN(2,3)) THEN fc := addc[4](rb, NOT sb, 1) END;
+    IF EQUAL(func, BIN(3,3)) THEN fc := (OR(rb, sb), 0) END;
+    IF EQUAL(func, BIN(4,3)) THEN fc := (AND(rb, sb), 0) END;
+    IF EQUAL(func, BIN(5,3)) THEN fc := (AND(NOT rb, sb), 0) END;
+    IF EQUAL(func, BIN(6,3)) THEN fc := (XOR(rb, sb), 0) END;
+    IF EQUAL(func, BIN(7,3)) THEN fc := (NOT XOR(rb, sb), 0) END;
+    f := fc[1..4];
+    coutm := fc[5];
+    cout := coutm;
+    zero := EQUAL(f, BIN(0,4));
+    y := f;
+
+    <* destinations: 0 none, 1 Q := F, 2 RAM[B] := F, 3 both *>
+    IF EQUAL(dest, BIN(1,2)) THEN q.in := f END;
+    IF EQUAL(dest, BIN(2,2)) THEN ram[NUM(baddr)].in := f END;
+    IF EQUAL(dest, BIN(3,2)) THEN
+        q.in := f;
+        ram[NUM(baddr)].in := f;
+    END;
+END;
+
+SIGNAL alu: am2901;
+"""
+
+
+DICTIONARY = """
+TYPE bo(n) = ARRAY [1..n] OF boolean;
+
+ortree(n) = <* pipelined OR reduction, one register level per stage *>
+COMPONENT (IN in: ARRAY [1..n] OF boolean; OUT out: boolean) IS
+SIGNAL left, right: ortree(n DIV 2);
+       r: REG;
+BEGIN
+    WHEN n = 1 THEN
+        r(in[1], out)
+    OTHERWISE
+        left.in := in[1 .. n DIV 2];
+        right.in := in[n DIV 2 + 1 .. n];
+        r(OR(left.out, right.out), out)
+    END
+END;
+
+dictionary(slots, abits, w) = <* content-addressable dictionary machine *>
+COMPONENT (IN load, del: boolean; IN slot: bo(abits); IN key: bo(w);
+           IN query: bo(w); OUT member: boolean) IS
+TYPE reg(n) = ARRAY [1..n] OF REG;
+SIGNAL store: ARRAY [0..slots-1] OF reg(w);
+       valid: ARRAY [0..slots-1] OF REG;
+       hit: ARRAY [1..slots] OF boolean;
+       answer: ortree(slots);
+BEGIN
+    IF RSET THEN
+        FOR i := 0 TO slots-1 DO valid[i].in := 0 END;
+    ELSE
+        IF load THEN
+            store[NUM(slot)].in := key;
+            valid[NUM(slot)].in := 1;
+        END;
+        IF del THEN
+            valid[NUM(slot)].in := 0;
+        END;
+    END;
+    FOR i := 1 TO slots DO
+        hit[i] := AND(valid[i-1].out, EQUAL(store[i-1].out, query));
+    END;
+    answer.in := hit;
+    member := answer.out
+END;
+
+SIGNAL dict: dictionary(8, 3, 6);
+"""
+
+
+def dictionary(slots: int, abits: int, w: int) -> str:
+    return DICTIONARY.replace(
+        "dictionary(8, 3, 6)", f"dictionary({slots}, {abits}, {w})"
+    )
+
+
+EXTRA_PROGRAMS: dict[str, str] = {
+    "stack": SYSTOLIC_STACK,
+    "am2901": AM2901,
+    "dictionary": DICTIONARY,
+}
+
+
+#: An odd-even transposition sorting network (Kung 1979-style systolic
+#: sorting): n combinational stages of compare-exchange cells over
+#: multiplex stage arrays.
+SORTER = PRELUDE + """
+TYPE sorter(n, w) = COMPONENT (IN din: ARRAY [1..n] OF bo(w);
+                               OUT dout: ARRAY [1..n] OF bo(w)) IS
+SIGNAL stage: ARRAY [0..n] OF ARRAY [1..n] OF ARRAY [1..w] OF multiplex;
+BEGIN
+    FOR i := 1 TO n DO stage[0][i] := din[i] END;
+    FOR t := 1 TO n DO
+        FOR i := 1 TO n DO
+            WHEN (i MOD 2 = t MOD 2) AND (i < n) THEN
+                <* compare-exchange lead: pair (i, i+1) *>
+                IF lt(stage[t-1][i+1], stage[t-1][i]) THEN
+                    stage[t][i] := stage[t-1][i+1];
+                    stage[t][i+1] := stage[t-1][i];
+                ELSE
+                    stage[t][i] := stage[t-1][i];
+                    stage[t][i+1] := stage[t-1][i+1];
+                END;
+            OTHERWISEWHEN (i > 1) AND ((i-1) MOD 2 = t MOD 2) THEN
+                <* trailing element: handled by its lead *>
+            OTHERWISE
+                stage[t][i] := stage[t-1][i];
+            END;
+        END;
+    END;
+    FOR i := 1 TO n DO dout[i] := stage[n][i] END;
+END;
+
+SIGNAL srt: sorter(4, 4);
+"""
+
+
+def sorter(n: int, w: int) -> str:
+    return SORTER.replace("sorter(4, 4)", f"sorter({n}, {w})")
+
+
+#: A transposed-form systolic FIR filter: the input broadcasts to every
+#: tap cell, partial sums march toward the output one register per cell
+#: -- y(t) = sum_j coef[j] * x(t - j) (mod 2^w).
+FIR = PRELUDE + """
+TYPE gated(w) = COMPONENT (IN xin: bo(w); IN c: boolean) : bo(w) IS
+SIGNAL g: bo(w);
+BEGIN
+    FOR k := 1 TO w DO g[k] := AND(xin[k], c) END;
+    RESULT g
+END;
+
+fir(taps, w) = COMPONENT (IN x: bo(w); IN coef: ARRAY [1..taps] OF boolean;
+                          OUT y: bo(w)) IS
+TYPE reg(n) = ARRAY [1..n] OF REG;
+SIGNAL s: ARRAY [1..taps] OF reg(w);
+{ ORDER righttoleft FOR i := 1 TO taps DO s[i] END END }
+BEGIN
+    IF RSET THEN
+        FOR i := 1 TO taps DO s[i].in := BIN(0, w) END;
+    ELSE
+        FOR i := 1 TO taps-1 DO
+            s[i].in := plus(s[i+1].out, gated[w](x, coef[i]));
+        END;
+        s[taps].in := gated[w](x, coef[taps]);
+    END;
+    y := s[1].out
+END;
+
+SIGNAL filt: fir(4, 8);
+"""
+
+
+def fir(taps: int, w: int) -> str:
+    return FIR.replace("fir(4, 8)", f"fir({taps}, {w})")
+
+
+EXTRA_PROGRAMS["sorter"] = SORTER
+EXTRA_PROGRAMS["fir"] = FIR
+
+
+#: A complete single-cycle accumulator computer in Zeus: program counter,
+#: instruction and data memories (NUM-addressed REG RAMs), an 8-bit
+#: accumulator and an 8-instruction ISA.  Opcode (bits 5..8 of the
+#: instruction word) / operand (bits 1..4):
+#:   0 NOP | 1 LDI imm | 2 LDA addr | 3 STA addr | 4 ADD addr
+#:   5 SUB addr | 6 JMP addr | 7 JNZ addr | 8 HLT
+TINYCPU = PRELUDE + """
+TYPE reg(n) = ARRAY [1..n] OF REG;
+
+tinycpu = COMPONENT (IN iload: boolean;      <* program-load mode *>
+                     IN iaddr: bo(4);
+                     IN idata: bo(8);
+                     OUT accout: bo(8);
+                     OUT pcout: bo(4);
+                     OUT halted: boolean) IS
+CONST nop = BIN(0,4); ldi = BIN(1,4); lda = BIN(2,4); sta = BIN(3,4);
+      add = BIN(4,4); sub = BIN(5,4); jmp = BIN(6,4); jnz = BIN(7,4);
+      hlt = BIN(8,4);
+SIGNAL imem: ARRAY [0..15] OF reg(8);
+       dmem: ARRAY [0..15] OF reg(8);
+       pc: reg(4);
+       acc: reg(8);
+       halt: REG;
+       instr: bo(8);
+       op, arg: bo(4);
+       running, accnz: boolean;
+       memval: ARRAY [1..8] OF multiplex;
+BEGIN
+    instr := imem[NUM(pc.out)].out;
+    op := instr[5..8];
+    arg := instr[1..4];
+    running := AND(NOT iload, NOT halt.out, NOT RSET);
+    memval := dmem[NUM(arg)].out;
+    accnz := NOT EQUAL(acc.out, BIN(0,8));
+
+    IF RSET THEN
+        pc.in := BIN(0,4);
+        halt.in := 0;
+        acc.in := BIN(0,8);
+    END;
+    IF iload THEN
+        imem[NUM(iaddr)].in := idata;
+    END;
+
+    IF running THEN
+        <* execute *>
+        IF EQUAL(op, ldi) THEN acc.in := (arg, BIN(0,4)) END;
+        IF EQUAL(op, lda) THEN acc.in := memval END;
+        IF EQUAL(op, sta) THEN dmem[NUM(arg)].in := acc.out END;
+        IF EQUAL(op, add) THEN acc.in := plus(acc.out, memval) END;
+        IF EQUAL(op, sub) THEN acc.in := minus(acc.out, memval) END;
+        IF EQUAL(op, hlt) THEN halt.in := 1 END;
+
+        <* next pc: jumps win, everything else increments *>
+        IF EQUAL(op, jmp) THEN pc.in := arg END;
+        IF EQUAL(op, jnz) THEN
+            IF accnz THEN pc.in := arg
+            ELSE pc.in := plus(pc.out, BIN(1,4))
+            END;
+        END;
+        IF AND(NOT EQUAL(op, jmp), NOT EQUAL(op, jnz)) THEN
+            pc.in := plus(pc.out, BIN(1,4));
+        END;
+    END;
+
+    accout := acc.out;
+    pcout := pc.out;
+    halted := halt.out
+END;
+
+SIGNAL cpu: tinycpu;
+"""
+
+EXTRA_PROGRAMS["tinycpu"] = TINYCPU
+
+
+#: A tiny assembler for the TINYCPU ISA (mnemonic -> 8-bit word).
+_CPU_OPCODES = {
+    "NOP": 0, "LDI": 1, "LDA": 2, "STA": 3,
+    "ADD": 4, "SUB": 5, "JMP": 6, "JNZ": 7, "HLT": 8,
+}
+
+
+def assemble(listing: str) -> list[int]:
+    """Assemble 'MNEMONIC [operand]' lines (with ; comments and blank
+    lines) into instruction words for the TINYCPU."""
+    words: list[int] = []
+    for raw in listing.strip().splitlines():
+        line = raw.split(";")[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        op = _CPU_OPCODES[parts[0].upper()]
+        arg = int(parts[1], 0) if len(parts) > 1 else 0
+        if not 0 <= arg < 16:
+            raise ValueError(f"operand out of range in {raw!r}")
+        words.append((op << 4) | arg)
+    if len(words) > 16:
+        raise ValueError("program does not fit in 16 instruction words")
+    return words

@@ -1,0 +1,168 @@
+"""A reusable Zeus component library.
+
+Beyond the paper's own examples, a language release needs a standard
+block library.  Each builder returns a complete, compilable Zeus program
+whose top instance is the block at the requested size (Zeus constant
+expressions have no exponentiation or log, so sizes that involve 2^n are
+expanded by the generator -- exactly the "meta language computing
+hardware" reading of section 4.2).
+
+Blocks:
+
+* ``decoder(n)``     -- n-bit address to 2^n one-hot lines;
+* ``encoder(n)``     -- 2^n one-hot lines to n-bit index (priority);
+* ``muxn(k, w)``     -- k-way multiplexor of w-bit words (NUM-indexed);
+* ``counter(n)``     -- n-bit synchronous up counter with enable;
+* ``shiftreg(n)``    -- serial-in/parallel-out shift register;
+* ``parity(n)``      -- XOR reduction;
+* ``ltu(n)``         -- unsigned comparator (from the PRELUDE);
+* ``comparator(n)``  -- unsigned eq/lt/gt comparator;
+* ``lfsr(n)``        -- Fibonacci linear feedback shift register
+  (taps at n and n-1).
+"""
+
+from __future__ import annotations
+
+from .programs import PRELUDE
+
+def decoder(n: int) -> str:
+    """n-bit address -> 2^n one-hot lines (generated per size)."""
+    lines = 1 << n
+    return PRELUDE + f"""
+TYPE decoder = COMPONENT (IN a: bo({n});
+                          OUT line: ARRAY [0..{lines - 1}] OF boolean) IS
+BEGIN
+    FOR i := 0 TO {lines - 1} DO
+        line[i] := EQUAL(a, BIN(i, {n}))
+    END;
+END;
+SIGNAL top: decoder;
+"""
+
+
+def encoder(n: int) -> str:
+    """2^n one-hot (or priority) lines -> n-bit index + valid."""
+    lines = 1 << n
+    arms = []
+    for i in range(lines - 1, -1, -1):
+        kw = "IF" if i == lines - 1 else "ELSIF"
+        arms.append(f"    {kw} line[{i}] THEN idx := BIN({i}, {n}); some := 1")
+    body = "\n".join(arms)
+    return PRELUDE + f"""
+TYPE encoder = COMPONENT (IN line: ARRAY [0..{lines - 1}] OF boolean;
+                          OUT valid: boolean; OUT a: bo({n})) IS
+SIGNAL idx: ARRAY [1..{n}] OF multiplex;
+       some: multiplex;
+BEGIN
+{body}
+    END;
+    a := idx;
+    valid := AND(1, some)
+END;
+SIGNAL top: encoder;
+"""
+
+
+def muxn(k: int, w: int) -> str:
+    bits = max(1, (k - 1).bit_length())
+    return PRELUDE + f"""
+TYPE muxn = COMPONENT (IN d: ARRAY [0..{k - 1}] OF bo({w});
+                       IN sel: bo({bits}); OUT y: bo({w})) IS
+SIGNAL h: ARRAY [1..{w}] OF multiplex;
+BEGIN
+    h := d[NUM(sel)];
+    y := h
+END;
+SIGNAL top: muxn;
+"""
+
+
+def counter(n: int) -> str:
+    return PRELUDE + f"""
+TYPE reg(n) = ARRAY [1..n] OF REG;
+counter = COMPONENT (IN en: boolean; OUT count: bo({n}); OUT carry: boolean) IS
+SIGNAL r: reg({n});
+BEGIN
+    IF RSET THEN r.in := BIN(0, {n})
+    ELSE
+        IF en THEN r.in := plus(r.out, BIN(1, {n})) END;
+    END;
+    count := r.out;
+    carry := EQUAL(r.out, NOT BIN(0, {n}))
+END;
+SIGNAL top: counter;
+"""
+
+
+def shiftreg(n: int) -> str:
+    return PRELUDE + f"""
+TYPE reg(n) = ARRAY [1..n] OF REG;
+shiftreg = COMPONENT (IN din, en: boolean; OUT q: bo({n})) IS
+SIGNAL r: reg({n});
+BEGIN
+    IF en THEN
+        r[1].in := din;
+        FOR i := 2 TO {n} DO r[i].in := r[i-1].out END;
+    END;
+    q := r.out
+END;
+SIGNAL top: shiftreg;
+"""
+
+
+def parity(n: int) -> str:
+    return PRELUDE + f"""
+TYPE paritychk = COMPONENT (IN a: bo({n}); OUT odd1: boolean) IS
+SIGNAL acc: bo({n});
+BEGIN
+    acc[1] := a[1];
+    FOR i := 2 TO {n} DO acc[i] := XOR(acc[i-1], a[i]) END;
+    odd1 := acc[{n}]
+END;
+SIGNAL top: paritychk;
+"""
+
+
+def comparator(n: int) -> str:
+    return PRELUDE + f"""
+TYPE cmp = COMPONENT (IN a, b: bo({n}); OUT eq, ltu, gtu: boolean) IS
+BEGIN
+    eq := EQUAL(a, b);
+    ltu := lt(a, b);
+    gtu := AND(NOT lt(a, b), NOT EQUAL(a, b))
+END;
+SIGNAL top: cmp;
+"""
+
+
+def lfsr(n: int) -> str:
+    if n < 2:
+        raise ValueError("lfsr needs n >= 2")
+    return PRELUDE + f"""
+TYPE reg(n) = ARRAY [1..n] OF REG;
+lfsr = COMPONENT (IN en: boolean; OUT state: bo({n})) IS
+SIGNAL r: reg({n});
+BEGIN
+    IF RSET THEN r.in := BIN(1, {n})
+    ELSE
+        IF en THEN
+            r[1].in := XOR(r[{n}].out, r[{n - 1}].out);
+            FOR i := 2 TO {n} DO r[i].in := r[i-1].out END;
+        END;
+    END;
+    state := r.out
+END;
+SIGNAL top: lfsr;
+"""
+
+
+#: Program builders by block name, each taking a size.
+BLOCKS = {
+    "decoder": decoder,
+    "encoder": encoder,
+    "counter": counter,
+    "shiftreg": shiftreg,
+    "parity": parity,
+    "comparator": comparator,
+    "lfsr": lfsr,
+}

@@ -1,0 +1,572 @@
+"""The paper's example programs (section 10 and others), as Zeus sources.
+
+Each constant is a complete compilable program.  Where the report's
+listings contain obvious typos or elisions, we repair/reconstruct them and
+say so here (the benchmark suite validates every repair functionally):
+
+* ``ycard`` for the paper's ``yeard``/``ycard``/``yerd`` spelling drift;
+  ``EQUAL(state.out, end)`` for ``EQUAL(state, end)``; the comparison
+  signals ``scorelt22``/``scorege17`` are declared *multiplex* because
+  they are assigned under the reset ELSE (a conditional assignment, which
+  the paper's own type rules forbid for plain local booleans);
+* the arithmetic helpers ``plus``/``minus``/``lt``/``ge`` the Blackjack
+  listing marks as "available" are implemented as parameterized function
+  components (ripple-carry / two's complement);
+* ``tree``: added the missing ``.in`` selector in ``h[2*i+1]``; the
+  recursive variant is rebuilt without the inconsistent ``preleaf`` layer
+  (the paper's version wires n/2 leaves from an n/2-leaf subtree);
+* ``patternmatch``: the accumulator body (elided in the report after
+  ``IF RSET THEN tp.in := 1``) is reconstructed in the Foster/Kung style
+  using exactly the report's register inventory (tp, l, x, r): the
+  stationary ``tp`` accumulates AND(tp, OR(x, d)) and hands its value to
+  the leftward-moving result stream when the end-of-pattern marker passes;
+  the ``resultin := 0`` statement (an illegal assignment to a formal IN
+  parameter) is dropped -- the testbench drives resultin with 0;
+* ``routingnetwork``: ``bit(n)`` is ``ARRAY[1..n]`` (the report says
+  ``[0..10]``), and the elided ``router`` body is a straight-through 2x2
+  router, which makes the network compute exactly the recursive butterfly
+  permutation the example is about.
+"""
+
+from __future__ import annotations
+
+#: Shared prelude: bit vectors and ripple-carry arithmetic function
+#: components (the "available" helpers of the Blackjack example).
+PRELUDE = """
+TYPE bo(n) = ARRAY [1..n] OF boolean;
+
+plus(n) = COMPONENT (IN term1, term2: bo(n)) : bo(n) IS
+SIGNAL s: bo(n);
+       carry: ARRAY [1..n] OF boolean;
+BEGIN
+    carry[1] := 0;
+    FOR i := 1 TO n-1 DO
+        carry[i+1] := OR(AND(term1[i], term2[i]),
+                         AND(XOR(term1[i], term2[i]), carry[i]))
+    END;
+    FOR i := 1 TO n DO
+        s[i] := XOR(XOR(term1[i], term2[i]), carry[i])
+    END;
+    RESULT s
+END;
+
+minus(n) = COMPONENT (IN term1, term2: bo(n)) : bo(n) IS
+SIGNAL s: bo(n);
+       nb: bo(n);
+       carry: ARRAY [1..n] OF boolean;
+BEGIN
+    nb := NOT term2;
+    carry[1] := 1;
+    FOR i := 1 TO n-1 DO
+        carry[i+1] := OR(AND(term1[i], nb[i]),
+                         AND(XOR(term1[i], nb[i]), carry[i]))
+    END;
+    FOR i := 1 TO n DO
+        s[i] := XOR(XOR(term1[i], nb[i]), carry[i])
+    END;
+    RESULT s
+END;
+
+lt(n) = COMPONENT (IN term1, term2: bo(n)) : boolean IS
+SIGNAL nb: bo(n);
+       carry: ARRAY [1..n+1] OF boolean;
+BEGIN
+    nb := NOT term2;
+    carry[1] := 1;
+    FOR i := 1 TO n DO
+        carry[i+1] := OR(AND(term1[i], nb[i]),
+                         AND(XOR(term1[i], nb[i]), carry[i]))
+    END;
+    RESULT NOT carry[n+1]
+END;
+
+ge(n) = COMPONENT (IN term1, term2: bo(n)) : boolean IS
+BEGIN
+    RESULT NOT lt(term1, term2)
+END;
+"""
+
+#: Section 3.2 / 10: half adder, full adder, ripple-carry adders.
+ADDERS = """
+TYPE bo(n) = ARRAY [1..n] OF boolean;
+
+halfadder = COMPONENT (IN a, b: boolean; OUT cout, s: boolean) IS
+BEGIN
+    s := XOR(a, b);
+    cout := AND(a, b)
+END;
+
+fulladder = COMPONENT (IN a, b, cin: boolean; OUT cout, s: boolean) IS
+SIGNAL h1, h2: halfadder;
+BEGIN
+    h1(a, b, *, h2.a);
+    h2(h1.s, cin, *, s);   <* the * indicates that no connection is made *>
+    cout := OR(h1.cout, h2.cout)
+END;
+
+rippleCarry4 = COMPONENT (IN a, b: bo(4); IN cin: boolean;
+                          OUT cout: boolean; OUT s: bo(4)) IS
+SIGNAL add: ARRAY [1..4] OF fulladder;
+       h: bo(5);
+{ ORDER lefttoright FOR i := 1 TO 4 DO add[i] END END }
+BEGIN
+    SEQUENTIAL
+        h[1] := cin;
+        FOR i := 1 TO 4 DO SEQUENTIALLY
+            add[i](a[i], b[i], h[i], h[i+1], s[i]);
+        END;
+        cout := h[5];
+    END
+END;
+
+rippleCarry(length) = COMPONENT (IN a, b: ARRAY[1..length] OF boolean;
+                                 IN cin: boolean; OUT cout: boolean;
+                                 OUT s: ARRAY[1..length] OF boolean) IS
+SIGNAL add: ARRAY [1..length] OF fulladder;
+{ ORDER lefttoright FOR i := 1 TO length DO add[i] END END }
+BEGIN
+    SEQUENTIAL
+        add[1](a[1], b[1], cin, add[2].cin, s[1]);
+        FOR i := 2 TO length-1 DO SEQUENTIALLY
+            add[i](a[i], b[i], *, add[i+1].cin, s[i]);
+        END;
+        add[length](a[length], b[length], *, cout, s[length]);
+    END
+END;
+
+SIGNAL adder4: rippleCarry4;
+SIGNAL adder: rippleCarry(4);
+"""
+
+
+def ripple_carry(width: int) -> str:
+    """The ADDERS program with a top-level adder of the given width."""
+    return ADDERS.replace("SIGNAL adder: rippleCarry(4);",
+                          f"SIGNAL adder: rippleCarry({width});")
+
+
+#: Section 10: the Blackjack finite state machine (typos repaired; see the
+#: module docstring).  States: start -> read -> sum -> firstace -> test
+#: -> (read | end); end emits stand/broke.
+BLACKJACK = PRELUDE + """
+CONST start = (0,0,0);
+      read = (0,0,1);
+      sum = (0,1,0);
+      firstace = (0,1,1);
+      test = (1,0,0);
+      end = (1,0,1);
+      zero5 = (0,0,0,0,0);
+      ten = BIN(10,5);
+
+TYPE reg(n) = ARRAY [1..n] OF REG;
+
+blackjack = COMPONENT (IN ycard: boolean; IN value: bo(5);
+                       OUT hit, broke, stand: boolean) IS
+SIGNAL score, card: reg(5);
+       ace: REG;
+       state: reg(3);
+       scorelt22, scorege17: multiplex;
+BEGIN
+    IF RSET THEN state.in := start
+    ELSE
+        scorelt22 := lt(score.out, BIN(22,5));
+        scorege17 := ge(score.out, BIN(17,5));
+        <* state = start *>
+        IF EQUAL(state.out, start) THEN
+            score.in := zero5;
+            ace.in := 0;
+            state.in := read
+        END;
+        <* state = read *>
+        IF EQUAL(state.out, read) THEN
+            card.in := value;
+            hit := 1;
+            IF ycard THEN state.in := sum END;
+        END;
+        <* state = sum *>
+        IF EQUAL(state.out, sum) THEN
+            score.in := plus(score.out, card.out);
+            state.in := firstace
+        END;
+        <* state = firstace *>
+        IF EQUAL(state.out, firstace) THEN
+            state.in := test;
+            IF AND(EQUAL(card.out, BIN(1,5)), NOT ace.out) THEN
+                score.in := plus(score.out, ten);
+                ace.in := 1;
+            END;
+        END;
+        <* state = test *>
+        IF EQUAL(state.out, test) THEN
+            IF NOT scorege17 THEN state.in := read
+            ELSIF scorelt22 THEN state.in := end
+            ELSIF ace.out THEN
+                <* state.in stays test *>
+                score.in := minus(score.out, ten);
+                ace.in := 0;
+            ELSE state.in := end <* busted with no ace: report broke.
+                The report's listing omits this arm, leaving the machine
+                stuck in `test` whenever score >= 22 without an ace. *>
+            END;
+        END;
+        <* state = end *>
+        IF EQUAL(state.out, end) THEN
+            IF scorelt22 THEN stand := 1 ELSE broke := 1 END;
+            IF ycard THEN state.in := start ELSE state.in := end END;
+        END;
+    END
+END;
+
+SIGNAL bj: blackjack;
+"""
+
+#: Section 10: binary broadcast trees, iterative and recursive.
+TREES = """
+TYPE q = COMPONENT (IN in: boolean; OUT out1, out2: boolean) IS
+BEGIN
+    out1 := in;
+    out2 := in
+END;
+
+tree(n) = <* n a power of 2, n >= 4 *>
+COMPONENT (IN in: boolean; OUT leaf: ARRAY [1..n] OF boolean) IS
+SIGNAL h: ARRAY [1..n-1] OF q;
+BEGIN
+    h[1].in := in;
+    FOR i := 1 TO n DIV 2 - 1 DO
+        h[i](*, h[2*i].in, h[2*i+1].in);
+    END;
+    FOR i := 1 TO n DIV 2 DO
+        h[i + n DIV 2 - 1](*, leaf[2*i-1], leaf[2*i]);
+    END;
+END;
+
+rtree(n) = <* n a power of two, n >= 2 *>
+COMPONENT (IN in: boolean; OUT leaf: ARRAY [1..n] OF boolean) IS
+SIGNAL left, right: rtree(n DIV 2);
+       root: q;
+{ ORDER toptobottom
+    root;
+    ORDER lefttoright left; right END;
+  END }
+BEGIN
+    WHEN n > 2 THEN
+        root(in, left.in, right.in);
+        FOR i := 1 TO n DIV 2 DO
+            leaf[i] := left.leaf[i];
+            leaf[i + n DIV 2] := right.leaf[i]
+        END
+    OTHERWISE <* n = 2 *>
+        root(in, leaf[1], leaf[2])
+    END
+END;
+
+SIGNAL a: tree(8);
+SIGNAL b: rtree(8);
+"""
+
+
+def trees(n: int) -> str:
+    """The TREES program with both top trees sized *n* (a power of two)."""
+    return TREES.replace("tree(8)", f"tree({n})").replace("rtree(8)", f"rtree({n})")
+
+
+#: Section 10: the H-tree with linear layout area.  The leaf drives the
+#: shared multiplex line only when selected, so a single leaf may answer.
+HTREE = """
+TYPE htree(n) = <* binary tree with n leafs, n a power of 4 or 1 *>
+COMPONENT (IN in: boolean; out: multiplex) { BOTTOM in; out } IS
+TYPE leaftype = COMPONENT (IN in: boolean; out: multiplex) { BOTTOM in; out } IS
+BEGIN
+    IF in THEN out := 1 END
+END;
+SIGNAL s: ARRAY [1..4] OF htree(n DIV 4);
+       leaf: leaftype;
+{ ORDER lefttoright
+    ORDER toptobottom s[1]; flip90 s[3] END;
+    ORDER toptobottom s[2]; flip90 s[4] END;
+  END }
+BEGIN
+    WHEN n > 1 THEN
+        FOR i := 1 TO 4 DO
+            s[i].in := in;
+            out == s[i].out
+        END
+    OTHERWISE
+        leaf.in := in;
+        out == leaf.out
+    END
+END;
+
+SIGNAL a: htree(16);
+"""
+
+
+def htree(n: int) -> str:
+    """HTREE with the top instance sized *n* (a power of 4, or 1)."""
+    return HTREE.replace("htree(16)", f"htree({n})")
+
+
+#: Section 3.2: the four-way multiplexor function component.
+MUX4 = """
+TYPE bo(n) = ARRAY [1..n] OF boolean;
+
+mux4 = COMPONENT (IN d: bo(4); IN a: bo(2); IN g: boolean) : boolean IS
+CONST bit2 = ( (0,0), (0,1), (1,0), (1,1) );
+SIGNAL h: multiplex;
+BEGIN
+    FOR i := 1 TO 4 DO
+        IF EQUAL(a, bit2[i]) THEN h := d[i] END
+    END;
+    RESULT AND(NOT g, h)
+END;
+
+mux4top = COMPONENT (IN d: bo(4); IN a: bo(2); IN g: boolean;
+                     OUT y: boolean) IS
+BEGIN
+    y := mux4(d, a, g)
+END;
+
+SIGNAL m: mux4top;
+"""
+
+#: Section 5: a RAM built from REG with NUM-decoded addressing.
+MEMORY = """
+TYPE bo(n) = ARRAY [1..n] OF boolean;
+
+memory(words, width, abits) = COMPONENT (IN addr: bo(abits);
+                                         IN data: bo(width);
+                                         IN we: boolean;
+                                         OUT q: bo(width)) IS
+SIGNAL ram: ARRAY [0..words-1] OF ARRAY [1..width] OF REG;
+BEGIN
+    IF we THEN ram[NUM(addr)].in := data END;
+    q := ram[NUM(addr)].out
+END;
+
+SIGNAL mem: memory(16, 8, 4);
+"""
+
+
+def memory(words: int, width: int, abits: int) -> str:
+    return MEMORY.replace(
+        "memory(16, 8, 4)", f"memory({words}, {width}, {abits})"
+    )
+
+
+#: Section 4.2: the HISDL routing network translated to Zeus.  The router
+#: body (elided in the report) is a straight-through 2x2 router, so the
+#: network realises the recursive butterfly wiring permutation.
+ROUTING = """
+TYPE bit(n) = ARRAY [1..n] OF boolean;
+channel(n) = ARRAY [0..n] OF bit(10);
+
+router = COMPONENT (IN inport0, inport1: bit(10);
+                    OUT outport0, outport1: bit(10)) IS
+BEGIN
+    outport0 := inport0;
+    outport1 := inport1
+END;
+
+routingnetwork(n) =
+COMPONENT (IN input: channel(n-1); OUT output: channel(n-1)) IS
+SIGNAL top, bottom: routingnetwork(n DIV 2);
+       <* this hardware is only generated if it is used in connection
+          or assignment statements later on *>
+       c: ARRAY [0..n DIV 2 - 1] OF router;
+BEGIN
+    WHEN n = 2 THEN <* 2*2 router *>
+        c[0](input[0], input[1], output[0], output[1])
+    OTHERWISE
+        <* decompose the routing network into a column of 2*2 routers
+           and two half-sized sub-networks top and bottom *>
+        FOR i := 0 TO n DIV 2 - 1 DO
+            c[i](input[2*i], input[2*i+1], top.input[i], bottom.input[i]);
+            output[i] := top.output[i];
+            output[i + n DIV 2] := bottom.output[i]
+        END;
+    END;
+END;
+
+SIGNAL net: routingnetwork(8);
+"""
+
+
+def routing(n: int) -> str:
+    """ROUTING with a top network of *n* channels (a power of two)."""
+    return ROUTING.replace("routingnetwork(8);", f"routingnetwork({n});")
+
+
+#: Section 10: the Foster/Kung systolic pattern matcher (see the module
+#: docstring for the accumulator reconstruction).
+PATTERNMATCH = """
+TYPE patternmatch(length) = <* length odd *>
+COMPONENT (IN pattern, string, endofpattern, wild, resultin: boolean;
+           OUT result, endout, stringout, wildout, patternout: boolean) IS
+
+TYPE comparator = COMPONENT (IN pin, sin: boolean;
+                             OUT pout, dout, sout: boolean) IS
+SIGNAL p, s: REG;
+BEGIN
+    p(pin, pout);
+    s(sin, sout);
+    <* the AND could be deleted for the 2 letter alphabet case *>
+    dout := AND(1, EQUAL(p.out, s.out));
+END;
+
+accumulator = COMPONENT (IN d, lin, xin, rin: boolean;
+                         OUT lout, xout, rout: boolean) IS
+SIGNAL tp <* temporary result *>, l, x, r: REG;
+BEGIN
+    l(lin, lout);
+    x(xin, xout);
+    rout := r.out;
+    IF RSET THEN
+        tp.in := 1;
+        r.in := 0;
+    ELSE
+        IF l.out THEN
+            <* the end-of-pattern marker is here: emit the accumulated
+               match onto the leftward result stream and restart *>
+            r.in := AND(tp.out, OR(x.out, d));
+            tp.in := 1;
+        ELSE
+            r.in := rin;
+            tp.in := AND(tp.out, OR(x.out, d));
+        END;
+    END;
+END;
+
+SIGNAL pe: ARRAY [1..length] OF COMPONENT (comp: comparator;
+                                           acc: accumulator) IS
+BEGIN
+    acc.d := comp.dout
+END;
+{ ORDER lefttoright
+    FOR i := 1 TO length DO
+        ORDER toptobottom
+            WITH pe[i] DO comp; acc END;
+        END;
+    END
+  END }
+BEGIN
+    SEQUENTIAL
+        <* Connections to outside *>
+        WITH pe[1] DO
+            comp.pin := pattern;
+            acc.lin := endofpattern;
+            acc.xin := wild;
+            result := acc.rout;
+            stringout := comp.sout;
+        END;
+        WITH pe[length] DO
+            patternout := comp.pout;
+            comp.sin := string;
+            wildout := acc.xout;
+            acc.rin := resultin;
+            endout := acc.lout;
+        END;
+    END;
+    <* Internal connections *>
+    FOR i := 2 TO length-1 DO
+        WITH pe[i] DO
+            comp(pe[i-1].comp.pout, pe[i+1].comp.sout,
+                 pe[i+1].comp.pin, *, pe[i-1].comp.sin);
+            acc(*, pe[i-1].acc.lout, pe[i-1].acc.xout, pe[i+1].acc.rout,
+                pe[i+1].acc.lin, pe[i+1].acc.xin, pe[i-1].acc.rin);
+        END
+    END
+END;
+
+SIGNAL match: patternmatch(3);
+"""
+
+
+def patternmatch(length: int) -> str:
+    """PATTERNMATCH with *length* cells (odd, >= 3 for internal wiring)."""
+    return PATTERNMATCH.replace(
+        "patternmatch(3);", f"patternmatch({length});"
+    )
+
+
+#: Section 8: the semantics example component (Fig. c) used to exercise
+#: the firing-order machinery.
+SECTION8 = """
+TYPE c = COMPONENT (IN a, b, c, x, y, rin: boolean;
+                    OUT rout: boolean; out: multiplex) IS
+SIGNAL r: REG;
+BEGIN
+    IF x THEN out := AND(a, b) END;
+    IF y THEN out := c END;
+    r(rin, rout)
+END;
+
+SIGNAL fig: c;
+"""
+
+#: Section 6.4: the chessboard built from virtual signals and layout
+#: replacement.  Black and white cells differ in their pass-through logic
+#: so replacement is observable in simulation.
+CHESSBOARD = """
+TYPE black = COMPONENT (IN top, left: boolean; OUT bottom, right: boolean) IS
+BEGIN
+    bottom := top;
+    right := left
+END;
+white = COMPONENT (IN top, left: boolean; OUT bottom, right: boolean) IS
+BEGIN
+    bottom := NOT top;
+    right := NOT left
+END;
+
+chessboard(n) = COMPONENT (IN tin: ARRAY [1..n] OF boolean;
+                           IN lin: ARRAY [1..n] OF boolean;
+                           OUT bout: ARRAY [1..n] OF boolean;
+                           OUT rout: ARRAY [1..n] OF boolean) IS
+SIGNAL m: ARRAY [1..n, 1..n] OF virtual;
+{ ORDER toptobottom
+    FOR i := 1 TO n DO
+        ORDER lefttoright
+            FOR j := 1 TO n DO
+                WHEN odd(i+j) THEN m[i,j] = black
+                OTHERWISE m[i,j] = white
+                END;
+            END;
+        END;
+    END;
+  END
+  }
+BEGIN
+    FOR j := 1 TO n DO m[1,j].top := tin[j] END;
+    FOR i := 1 TO n DO m[i,1].left := lin[i] END;
+    FOR i := 2 TO n DO
+        FOR j := 1 TO n DO m[i,j].top := m[i-1,j].bottom END;
+    END;
+    FOR i := 1 TO n DO
+        FOR j := 2 TO n DO m[i,j].left := m[i,j-1].right END;
+    END;
+    FOR j := 1 TO n DO bout[j] := m[n,j].bottom END;
+    FOR i := 1 TO n DO rout[i] := m[i,n].right END;
+END;
+
+SIGNAL board: chessboard(4);
+"""
+
+
+def chessboard(n: int) -> str:
+    return CHESSBOARD.replace("chessboard(4);", f"chessboard({n});")
+
+
+#: All named programs, for the CLI and the test suite.
+ALL_PROGRAMS: dict[str, str] = {
+    "adders": ADDERS,
+    "blackjack": BLACKJACK,
+    "trees": TREES,
+    "htree": HTREE,
+    "mux4": MUX4,
+    "memory": MEMORY,
+    "routing": ROUTING,
+    "patternmatch": PATTERNMATCH,
+    "section8": SECTION8,
+    "chessboard": CHESSBOARD,
+}

@@ -1,0 +1,19 @@
+"""Pytest fixtures for the Zeus reproduction test suite."""
+
+import pytest
+
+from zeus_test_utils import compile_ok
+
+
+@pytest.fixture
+def halfadder_circuit():
+    return compile_ok(
+        """
+        TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS
+        BEGIN
+            s := XOR(a,b);
+            cout := AND(a,b)
+        END;
+        SIGNAL h: halfadder;
+        """
+    )

@@ -1,0 +1,217 @@
+"""Analysis utilities: depth, critical path, fan-out, cones, equivalence,
+DOT export."""
+
+import pytest
+
+import repro
+from repro.analysis import (
+    cone_of_influence,
+    critical_path,
+    exhaustive_equivalent,
+    fanout,
+    logic_depth,
+    max_fanout,
+    random_equivalent,
+    register_paths,
+    summary,
+    to_dot,
+)
+from repro.stdlib import programs
+
+from zeus_test_utils import compile_ok
+
+CHAIN = """
+TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+SIGNAL s1, s2, s3: boolean;
+BEGIN
+    s1 := NOT a;
+    s2 := NOT s1;
+    s3 := NOT s2;
+    y := NOT s3
+END;
+SIGNAL u: t;
+"""
+
+
+class TestDepth:
+    def test_chain_depth(self):
+        circuit = compile_ok(CHAIN)
+        # a -> gate -> s1 -> gate -> s2 -> gate -> s3 -> gate -> y:
+        # 4 gates, each contributing 2 levels (gate out + named net).
+        assert logic_depth(circuit.netlist) == 8
+
+    def test_adder_depth_grows_with_width(self):
+        d4 = logic_depth(
+            compile_ok(programs.ripple_carry(4), top="adder").netlist
+        )
+        d8 = logic_depth(
+            compile_ok(programs.ripple_carry(8), top="adder").netlist
+        )
+        assert d8 > d4  # the carry chain
+
+    def test_critical_path_endpoints(self):
+        circuit = compile_ok(CHAIN)
+        path = critical_path(circuit.netlist)
+        assert path[0] == "u.a"
+        assert path[-1] == "u.y"
+
+    def test_register_breaks_depth(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            SIGNAL r: REG;
+            BEGIN
+                r.in := NOT a;
+                y := NOT r.out
+            END;
+            SIGNAL u: t;
+            """
+        )
+        assert logic_depth(circuit.netlist) <= 4
+
+    def test_register_paths(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            SIGNAL r: REG;
+            BEGIN
+                r.in := NOT NOT NOT a;
+                y := r.out
+            END;
+            SIGNAL u: t;
+            """
+        )
+        paths = register_paths(circuit.netlist)
+        assert paths["u.r"] >= 4
+
+
+class TestFanout:
+    def test_broadcast_fanout(self):
+        circuit = compile_ok(programs.trees(16), top="a")
+        name, fo = max_fanout(circuit.netlist)
+        assert fo >= 2
+
+    def test_fanout_counts_guards(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN c, a: boolean; OUT y: boolean; z: multiplex) IS
+            BEGIN
+                IF c THEN z := a END;
+                y := c
+            END;
+            SIGNAL u: t;
+            """
+        )
+        counts = fanout(circuit.netlist)
+        c_net = circuit.netlist.find(circuit.netlist.port("c").nets[0]).id
+        assert counts[c_net] >= 2  # guard + y driver
+
+    def test_summary_keys(self):
+        circuit = compile_ok(CHAIN)
+        info = summary(circuit.netlist)
+        assert "logic_depth" in info and "max_fanout" in info
+
+
+class TestCone:
+    def test_cone_of_output(self):
+        circuit = compile_ok(CHAIN)
+        y = circuit.netlist.port("y").nets[0]
+        cone = cone_of_influence(circuit.netlist, y)
+        assert "u.a" in cone
+        assert "u.s1" in cone and "u.s3" in cone
+
+    def test_cone_stops_at_registers(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            SIGNAL r: REG;
+            BEGIN r.in := a; y := NOT r.out END;
+            SIGNAL u: t;
+            """
+        )
+        y = circuit.netlist.port("y").nets[0]
+        cone = cone_of_influence(circuit.netlist, y)
+        assert "u.r.out" in cone
+        assert "u.a" not in cone  # blocked by the register
+
+
+class TestEquivalence:
+    def test_adder_formulations_equivalent(self):
+        a = compile_ok(programs.ADDERS, top="adder4")
+        b = compile_ok(programs.ADDERS, top="adder")
+        report = exhaustive_equivalent(a, b)
+        assert report
+        assert report.vectors_checked == 16 * 16 * 2
+
+    def test_tree_formulations_equivalent(self):
+        a = compile_ok(programs.trees(8), top="a")
+        b = compile_ok(programs.trees(8), top="b")
+        assert exhaustive_equivalent(a, b)
+
+    def test_detects_inequivalence(self):
+        good = compile_ok(
+            """
+            TYPE t = COMPONENT (IN a, b: boolean; OUT y: boolean) IS
+            BEGIN y := AND(a, b) END;
+            SIGNAL u: t;
+            """
+        )
+        bad = compile_ok(
+            """
+            TYPE t = COMPONENT (IN a, b: boolean; OUT y: boolean) IS
+            BEGIN y := OR(a, b) END;
+            SIGNAL u: t;
+            """
+        )
+        report = exhaustive_equivalent(good, bad)
+        assert not report
+        assert report.mismatches
+        assert "y" == report.mismatches[0].pin
+
+    def test_interface_mismatch_rejected(self):
+        a = compile_ok(programs.ADDERS, top="adder4")
+        b = compile_ok(programs.trees(4), top="a")
+        with pytest.raises(ValueError, match="interfaces differ"):
+            exhaustive_equivalent(a, b)
+
+    def test_random_equivalence_wide(self):
+        a = compile_ok(programs.ripple_carry(16), top="adder")
+        b = compile_ok(programs.ripple_carry(16), top="adder")
+        assert random_equivalent(a, b, trials=20)
+
+    def test_too_many_bits_rejected(self):
+        a = compile_ok(programs.ripple_carry(16), top="adder")
+        with pytest.raises(ValueError, match="too many"):
+            exhaustive_equivalent(a, a)
+
+
+class TestDot:
+    def test_dot_structure(self):
+        circuit = compile_ok(CHAIN)
+        dot = to_dot(circuit.netlist)
+        assert dot.startswith("digraph")
+        assert dot.count("shape=box") == 4  # the NOT gates
+        assert "u.a" in dot and "u.y" in dot
+
+    def test_registers_rendered(self):
+        circuit = compile_ok(programs.SECTION8)
+        dot = to_dot(circuit.netlist)
+        assert "doubleoctagon" in dot
+
+    def test_guarded_edges_dashed(self):
+        circuit = compile_ok(programs.SECTION8)
+        dot = to_dot(circuit.netlist)
+        assert "style=dashed" in dot
+
+    def test_multiplex_shape(self):
+        circuit = compile_ok(programs.htree(4))
+        dot = to_dot(circuit.netlist)
+        assert "hexagon" in dot
+
+    def test_write_dot(self, tmp_path):
+        from repro.analysis import write_dot
+
+        circuit = compile_ok(CHAIN)
+        path = tmp_path / "g.dot"
+        write_dot(circuit.netlist, str(path))
+        assert path.read_text().startswith("digraph")

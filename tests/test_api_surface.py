@@ -1,0 +1,158 @@
+"""Public API surface and remaining utility paths."""
+
+import pytest
+
+import repro
+from repro.lang import ast, parse
+from repro.stdlib import programs
+
+from zeus_test_utils import compile_ok
+
+
+class TestProgramHelpers:
+    def test_decl_partitions(self):
+        prog = parse(
+            "CONST k = 1;\n"
+            "TYPE t = ARRAY [1..k] OF boolean;\n"
+            "SIGNAL s: t;\n"
+        )
+        assert len(prog.constants()) == 1
+        assert len(prog.types()) == 1
+        assert len(prog.signals()) == 1
+
+
+class TestCircuitApi:
+    def test_circuit_properties(self):
+        circuit = compile_ok(programs.MUX4)
+        assert circuit.name == "m"
+        assert circuit.netlist.name == "m"
+        assert "nets" in circuit.stats()
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_testbench_factory_from_text(self):
+        tb = repro.make_testbench(
+            """
+            TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            BEGIN y := NOT a END;
+            SIGNAL u: t;
+            """
+        )
+        tb.drive(a=0).clock().expect(y=1)
+
+    def test_compile_text_lenient_returns_diags(self):
+        circuit = repro.compile_text(
+            """
+            TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            SIGNAL p: boolean;
+            BEGIN p := 1; p := 0; y := a; * := p END;
+            SIGNAL u: t;
+            """,
+            strict=False,
+        )
+        assert circuit.diagnostics.has_errors()
+        # Lenient circuits still simulate.
+        sim = circuit.simulator(strict=False)
+        sim.poke("a", 1)
+        sim.step()
+
+
+class TestSimulatorApiEdges:
+    def test_peek_bit_rejects_vectors(self):
+        circuit = compile_ok(programs.ripple_carry(4), top="adder")
+        sim = circuit.simulator()
+        with pytest.raises(KeyError, match="4 bits wide"):
+            sim.peek_bit("s")
+
+    def test_event_count_after_evaluate(self):
+        circuit = compile_ok(programs.MUX4)
+        sim = circuit.simulator()
+        sim.poke("d", 5); sim.poke("a", [0, 0]); sim.poke("g", 0)
+        sim.evaluate()
+        assert sim.event_count == len(
+            {circuit.netlist.find(n).id for n in circuit.netlist.nets}
+        )
+
+    def test_multiple_traces(self):
+        from repro.core.trace import Trace
+
+        circuit = compile_ok(programs.MUX4)
+        sim = circuit.simulator()
+        t1, t2 = Trace(["y"]), Trace(["g"])
+        sim.attach_trace(t1)
+        sim.attach_trace(t2)
+        sim.poke("d", 1); sim.poke("a", [0, 0]); sim.poke("g", 0)
+        sim.step(3)
+        assert t1.cycles == t2.cycles == 3
+
+    def test_violations_accumulate_in_lenient_mode(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN c1, c2: boolean; OUT y: boolean;
+                                z: multiplex) IS
+            BEGIN
+                IF c1 THEN z := 1 END;
+                IF c2 THEN z := 0 END;
+                y := c1
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator(strict=False)
+        sim.poke("c1", 1); sim.poke("c2", 1)
+        sim.step(3)
+        assert len(sim.violations) == 3
+        assert "cycle 1" in str(sim.violations[1])
+
+
+class TestLayoutDirections:
+    BASE = """
+    TYPE cell = COMPONENT (IN a: boolean; OUT y: boolean) IS
+    BEGIN y := a END;
+    t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+    SIGNAL c: ARRAY [1..3] OF cell;
+    {layout}
+    BEGIN
+        c[1].a := a;
+        FOR i := 2 TO 3 DO c[i].a := c[i-1].y END;
+        y := c[3].y
+    END;
+    SIGNAL u: t;
+    """
+
+    def plan(self, layout):
+        return repro.compile_text(self.BASE.replace("{layout}", layout)).layout()
+
+    def test_bottomtotop(self):
+        plan = self.plan("{ ORDER bottomtotop c[1]; c[2]; c[3] END }")
+        ys = {name: r.y for name, r in plan.iter_cells()}
+        assert ys["u.c[1]"] > ys["u.c[3]"]
+
+    def test_downto_layout_for(self):
+        plan = self.plan(
+            "{ ORDER lefttoright FOR i := 3 DOWNTO 1 DO c[i] END END }"
+        )
+        xs = {name: r.x for name, r in plan.iter_cells()}
+        assert xs["u.c[3]"] == 0 and xs["u.c[1]"] == 2
+
+    def test_layout_with_statement(self):
+        text = """
+        TYPE pair = COMPONENT (IN a: boolean; OUT y: boolean) IS
+        SIGNAL one, two: COMPONENT (IN p: boolean; OUT q: boolean) IS
+        BEGIN q := p END;
+        BEGIN one(a, two.p); two(*, y) END;
+        t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+        SIGNAL g: pair;
+        { WITH g DO ORDER lefttoright END END }
+        BEGIN g(a, y) END;
+        SIGNAL u: t;
+        """
+        plan = repro.compile_text(text).layout()
+        assert plan.leaf_count() >= 2
+
+    def test_bottomrighttotopleft_diagonal(self):
+        plan = self.plan(
+            "{ ORDER bottomrighttotopleft c[1]; c[2]; c[3] END }"
+        )
+        assert plan.leaf_count() == 3

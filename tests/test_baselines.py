@@ -1,0 +1,213 @@
+"""Baseline simulator tests: the switch-level MOS model and the
+unchecked order-sensitive interpreter (DESIGN.md, E9/E10)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.baselines import (
+    SState,
+    SwitchCircuit,
+    SwitchSimulator,
+    UncheckedSimulator,
+    build_ripple_adder,
+)
+from repro.core.elaborate import elaborate
+from repro.lang import parse
+
+
+class TestSwitchPrimitives:
+    def test_inverter(self):
+        c = SwitchCircuit()
+        a = c.node("a", is_input=True)
+        out = c.node("out")
+        c.inverter(a, out)
+        sim = SwitchSimulator(c)
+        for v, want in [(0, "1"), (1, "0")]:
+            sim.poke("a", v)
+            sim.settle()
+            assert str(sim.peek("out")) == want
+
+    @pytest.mark.parametrize("gate,table", [
+        ("nand2", {(0, 0): "1", (0, 1): "1", (1, 0): "1", (1, 1): "0"}),
+        ("nor2", {(0, 0): "1", (0, 1): "0", (1, 0): "0", (1, 1): "0"}),
+        ("and2", {(0, 0): "0", (0, 1): "0", (1, 0): "0", (1, 1): "1"}),
+        ("or2", {(0, 0): "0", (0, 1): "1", (1, 0): "1", (1, 1): "1"}),
+        ("xor2", {(0, 0): "0", (0, 1): "1", (1, 0): "1", (1, 1): "0"}),
+    ])
+    def test_cmos_cells(self, gate, table):
+        c = SwitchCircuit()
+        a = c.node("a", is_input=True)
+        b = c.node("b", is_input=True)
+        out = c.node("out")
+        getattr(c, gate)(a, b, out)
+        sim = SwitchSimulator(c)
+        for (va, vb), want in table.items():
+            sim.poke("a", va); sim.poke("b", vb)
+            sim.settle()
+            assert str(sim.peek("out")) == want, (gate, va, vb)
+
+    def test_x_input_gives_x_through_inverter(self):
+        c = SwitchCircuit()
+        a = c.node("a", is_input=True)
+        out = c.node("out")
+        c.inverter(a, out)
+        sim = SwitchSimulator(c)
+        sim.poke("a", SState.X)
+        sim.settle()
+        assert sim.peek("out") is SState.X
+
+    def test_charge_retention(self):
+        """A pass transistor that turns off leaves the node charged."""
+        c = SwitchCircuit()
+        g = c.node("g", is_input=True)
+        d = c.node("d", is_input=True)
+        out = c.node("out")
+        c.nmos(g, d, out)
+        sim = SwitchSimulator(c)
+        sim.poke("g", 1); sim.poke("d", 1); sim.settle()
+        assert str(sim.peek("out")) == "1"
+        sim.poke("g", 0); sim.poke("d", 0); sim.settle()
+        assert str(sim.peek("out")) == "1"  # dynamic storage
+
+    def test_fighting_drivers_give_x(self):
+        c = SwitchCircuit()
+        g = c.node("g", is_input=True)
+        out = c.node("out")
+        c.nmos(g, c.vdd, out)
+        c.nmos(g, c.gnd, out)
+        sim = SwitchSimulator(c)
+        sim.poke("g", 1)
+        sim.settle()
+        assert sim.peek("out") is SState.X
+
+
+class TestSwitchAdder:
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 1))
+    @settings(max_examples=20, deadline=None)
+    def test_adder_matches_arithmetic(self, a, b, cin):
+        c, ports = _adder()
+        sim = SwitchSimulator(c)
+        for i, name in enumerate(ports["a"]):
+            sim.poke(name, (a >> i) & 1)
+        for i, name in enumerate(ports["b"]):
+            sim.poke(name, (b >> i) & 1)
+        sim.poke("cin", cin)
+        sim.settle()
+        s = sum(
+            (1 if str(sim.peek(n)) == "1" else 0) << i
+            for i, n in enumerate(ports["s"])
+        )
+        cout = 1 if str(sim.peek(ports["cout"][0])) == "1" else 0
+        assert s + (cout << 4) == a + b + cin
+
+    def test_needs_multiple_sweeps(self):
+        """The structural point of E10: relaxation iterates, the Zeus
+        dataflow pass does not."""
+        c, ports = build_ripple_adder(8)
+        sim = SwitchSimulator(c)
+        for i, name in enumerate(ports["a"]):
+            sim.poke(name, 1)
+        for i, name in enumerate(ports["b"]):
+            sim.poke(name, 0)
+        sim.poke("cin", 1)  # carry ripples through all 8 stages
+        sweeps = sim.settle()
+        assert sweeps > 3
+
+    def test_transistor_count_scales_linearly(self):
+        t4 = build_ripple_adder(4)[0].transistor_count
+        t8 = build_ripple_adder(8)[0].transistor_count
+        assert t8 == 2 * t4
+
+
+_ADDER = []
+
+
+def _adder():
+    if not _ADDER:
+        _ADDER.append(build_ripple_adder(4))
+    return _ADDER[0]
+
+
+class TestUncheckedBaseline:
+    def design(self, text, top=None):
+        return elaborate(parse(text), top=top)
+
+    def test_agrees_on_clean_combinational_design(self):
+        text = """
+        TYPE t = COMPONENT (IN a, b: boolean; OUT y: boolean) IS
+        SIGNAL s: boolean;
+        BEGIN
+            s := AND(a, b);
+            y := OR(s, b)
+        END;
+        SIGNAL u: t;
+        """
+        circuit = repro.compile_text(text)
+        zeus = circuit.simulator()
+        base = UncheckedSimulator(circuit.design, sweeps=3)
+        for a in (0, 1):
+            for b in (0, 1):
+                zeus.poke("a", a); zeus.poke("b", b); zeus.step()
+                base.poke("a", a); base.poke("b", b); base.step()
+                assert str(zeus.peek_bit("y")) == str(base.peek("y")[0])
+
+    def test_silently_accepts_double_drive(self):
+        """The E9 point: the unchecked baseline produces *some* value
+        where Zeus reports the hazard."""
+        text = """
+        TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+        SIGNAL p: boolean;
+        BEGIN
+            p := 1;
+            p := 0;
+            y := p
+        END;
+        SIGNAL u: t;
+        """
+        design = self.design(text)
+        base = UncheckedSimulator(design, sweeps=2)
+        base.poke("a", 1)
+        base.step()
+        assert str(base.peek("y")[0]) == "0"  # last writer won, silently
+
+    def test_single_sweep_misses_late_dependencies(self):
+        """Order sensitivity: with one in-order sweep a value assigned
+        'later' in the text has not propagated -- the failure mode the
+        Zeus dataflow semantics rules out."""
+        text = """
+        TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+        SIGNAL s: boolean;
+        BEGIN
+            y := NOT s,
+            s := NOT a
+        END;
+        SIGNAL u: t;
+        """
+        # Build the statements in y-before-s order via elaboration order.
+        text = text.replace(",", ";")
+        design = self.design(text)
+        one = UncheckedSimulator(design, sweeps=1)
+        one.poke("a", 1); one.step()
+        many = UncheckedSimulator(design, sweeps=3)
+        many.poke("a", 1); many.step()
+        zeus = repro.compile_text(text).simulator()
+        zeus.poke("a", 1); zeus.step()
+        assert str(zeus.peek_bit("y")) == "1"
+        assert str(many.peek("y")[0]) == "1"
+        assert str(one.peek("y")[0]) == "UNDEF"  # stale
+
+    def test_registers_latch(self):
+        text = """
+        TYPE t = COMPONENT (IN d: boolean; OUT q: boolean) IS
+        SIGNAL r: REG;
+        BEGIN r(d, q) END;
+        SIGNAL u: t;
+        """
+        design = self.design(text)
+        base = UncheckedSimulator(design, sweeps=2)
+        base.poke("d", 1); base.step(); base.step()
+        assert str(base.peek("q")[0]) == "1"

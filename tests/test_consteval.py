@@ -1,0 +1,166 @@
+"""Constant expression evaluation tests (sections 3.1, 4.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.consteval import (
+    const_leaves,
+    const_width,
+    eval_condition,
+    eval_const,
+    eval_int,
+)
+from repro.core.elaborate import build_pervasive_env
+from repro.core.symbols import ConstBinding, Env, LoopVar
+from repro.core.values import Logic
+from repro.lang import ElaborationError, Parser
+
+
+def ev(text, **bindings):
+    env = Env(parent=build_pervasive_env())
+    for name, value in bindings.items():
+        env.bind(name, ConstBinding(value))
+    parser = Parser(text)
+    expr = parser.parse_const_expression()
+    return eval_const(expr, env)
+
+
+def ev_constant(text, **bindings):
+    env = Env(parent=build_pervasive_env())
+    for name, value in bindings.items():
+        env.bind(name, ConstBinding(value))
+    parser = Parser(text)
+    expr = parser.parse_constant()
+    return eval_const(expr, env)
+
+
+class TestArithmetic:
+    def test_precedence(self):
+        assert ev("2+3*4") == 14
+
+    def test_parentheses(self):
+        assert ev("(2+3)*4") == 20
+
+    def test_unary_minus(self):
+        assert ev("-3+5") == 2
+
+    def test_div_mod(self):
+        assert ev("7 DIV 2") == 3
+        assert ev("7 MOD 2") == 1
+
+    def test_div_by_zero(self):
+        with pytest.raises(ElaborationError):
+            ev("1 DIV 0")
+
+    def test_mod_by_zero(self):
+        with pytest.raises(ElaborationError):
+            ev("1 MOD 0")
+
+    def test_octal(self):
+        assert ev("17B") == 15
+
+    def test_names(self):
+        assert ev("n DIV 2", n=10) == 5
+
+    def test_undeclared_name(self):
+        with pytest.raises(ElaborationError):
+            ev("zzz + 1")
+
+    @given(st.integers(-100, 100), st.integers(-100, 100))
+    def test_add_sub_match_python(self, a, b):
+        assert ev(f"a + b", a=a, b=b) == a + b
+        assert ev(f"a - b", a=a, b=b) == a - b
+
+    @given(st.integers(0, 100), st.integers(1, 20))
+    def test_div_mod_identity(self, a, b):
+        q = ev("a DIV b", a=a, b=b)
+        r = ev("a MOD b", a=a, b=b)
+        assert q * b + r == a
+        assert 0 <= r < b
+
+
+class TestRelationsAndBooleans:
+    def test_relations(self):
+        assert ev("3 < 4") is True
+        assert ev("3 >= 4") is False
+        assert ev("3 = 3") is True
+        assert ev("3 <> 3") is False
+        assert ev("4 <= 4") is True
+        assert ev("5 > 4") is True
+
+    def test_and_or_not(self):
+        assert ev("NOT (1 = 2)") is True
+        assert ev("(1 = 1) AND (2 = 2)") is True
+        assert ev("(1 = 2) OR (2 = 2)") is True
+
+    def test_condition_nonzero(self):
+        env = Env(parent=build_pervasive_env())
+        parser = Parser("2")
+        assert eval_condition(parser.parse_const_expression(), env) is True
+
+    def test_when_style_condition(self):
+        assert ev("i MOD 2 <> 0", i=3) is True
+        assert ev("i MOD 2 <> 0", i=4) is False
+
+
+class TestPredefinedFunctions:
+    def test_min_max(self):
+        assert ev("min(3, 7)") == 3
+        assert ev("max(3, 7)") == 7
+        assert ev("min(3, 7, 1)") == 1
+
+    def test_odd(self):
+        assert ev("odd(3)") is True
+        assert ev("odd(4)") is False
+
+    def test_unknown_function(self):
+        with pytest.raises(ElaborationError):
+            ev("gcd(3, 4)")
+
+
+class TestSignalConstants:
+    def test_tuple(self):
+        v = ev_constant("(0, 1, 0)")
+        assert v == (Logic.ZERO, Logic.ONE, Logic.ZERO)
+
+    def test_nested(self):
+        v = ev_constant("((0,1),(1,0))")
+        assert const_width(v) == 4
+        assert const_leaves(v) == [Logic.ZERO, Logic.ONE, Logic.ONE, Logic.ZERO]
+
+    def test_bin_in_constant(self):
+        v = ev_constant("BIN(10, 5)")
+        assert const_width(v) == 5
+        assert const_leaves(v)[1] is Logic.ONE  # bit 2 of 10
+
+    def test_undef_noinfl_names(self):
+        assert ev_constant("(0, UNDEF)")[1] is Logic.UNDEF
+        assert ev_constant("(NOINFL, 1)")[0] is Logic.NOINFL
+
+    def test_non_bit_in_tuple_rejected(self):
+        with pytest.raises(ElaborationError):
+            ev_constant("(0, 2)")
+
+    def test_signal_const_equality(self):
+        assert ev_constant("(0,1) = (0,1)") is True
+        assert ev_constant("(0,1) <> (1,1)") is True
+
+    def test_bin_overflow(self):
+        with pytest.raises(ElaborationError):
+            ev_constant("BIN(32, 5)")
+
+
+class TestEvalInt:
+    def test_requires_number(self):
+        env = Env(parent=build_pervasive_env())
+        env.bind("t", ConstBinding((Logic.ZERO,)))
+        expr = Parser("t").parse_const_expression()
+        with pytest.raises(ElaborationError):
+            eval_int(expr, env)
+
+    def test_loop_var(self):
+        env = Env(parent=build_pervasive_env())
+        env.bind("i", LoopVar(5))
+        expr = Parser("2*i+1").parse_const_expression()
+        assert eval_int(expr, env) == 11

@@ -1,0 +1,399 @@
+"""Edge cases across the pipeline: less-travelled language corners."""
+
+import pytest
+
+import repro
+from repro.core.values import Logic
+from repro.lang import CheckError, ElaborationError, TypeError_
+
+from zeus_test_utils import compile_ok
+
+
+class TestPredefinedSignals:
+    def test_rset_readable_as_condition(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            BEGIN
+                IF RSET THEN y := 0 ELSE y := a END
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("a", 1)
+        sim.poke("RSET", 1); sim.step()
+        assert str(sim.peek_bit("y")) == "0"
+        sim.poke("RSET", 0); sim.step()
+        assert str(sim.peek_bit("y")) == "1"
+
+    def test_rset_defaults_to_zero(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            BEGIN
+                IF RSET THEN y := 0 ELSE y := a END
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("a", 1)
+        sim.step()  # RSET never poked: defaults low
+        assert str(sim.peek_bit("y")) == "1"
+
+    def test_clk_is_readable(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            BEGIN y := OR(a, CLK) END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("a", 0)
+        sim.poke("CLK", 1)
+        sim.step()
+        assert str(sim.peek_bit("y")) == "1"
+
+
+class TestSelectors:
+    def test_field_range_in_expression(self):
+        circuit = compile_ok(
+            """
+            TYPE rec = COMPONENT (p, q, r: boolean);
+            t = COMPONENT (IN a: ARRAY [1..3] OF boolean;
+                           OUT y: ARRAY [1..2] OF boolean) IS
+            SIGNAL s: rec;
+            BEGIN
+                s.p := a[1]; s.q := a[2]; s.r := a[3];
+                y := s.p..q
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("a", [1, 0, 1])
+        sim.step()
+        assert [str(b) for b in sim.peek("y")] == ["1", "0"]
+
+    def test_slice_assignment(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN a: ARRAY [1..4] OF boolean;
+                                OUT y: ARRAY [1..4] OF boolean) IS
+            BEGIN
+                y[1..2] := a[3..4];
+                y[3..4] := a[1..2]
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("a", 0b0011)
+        sim.step()
+        assert sim.peek_int("y") == 0b1100
+
+    def test_whole_structure_abbreviation(self):
+        # "score denotes the five signals score[1..5]".
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN a: ARRAY [1..5] OF boolean;
+                                OUT y: ARRAY [1..5] OF boolean) IS
+            SIGNAL score: ARRAY [1..5] OF boolean;
+            BEGIN
+                score := a;
+                y := score
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("a", 21)
+        sim.step()
+        assert sim.peek_int("y") == 21
+
+    def test_matrix_rightmost_omitted_first(self):
+        # matrix[2] == matrix[2][1..n] (the row).
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN a: ARRAY [1..2] OF boolean;
+                                OUT y: ARRAY [1..2] OF boolean) IS
+            SIGNAL m: ARRAY [1..2] OF ARRAY [1..2] OF boolean;
+            BEGIN
+                m[1] := a;
+                m[2] := NOT a;
+                y := m[2]
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("a", [1, 0])
+        sim.step()
+        assert [str(b) for b in sim.peek("y")] == ["0", "1"]
+
+
+class TestStars:
+    def test_star_with_explicit_width_in_alias(self):
+        compile_ok(
+            """
+            TYPE t = COMPONENT (IN a: boolean; OUT y: boolean;
+                                z: ARRAY [1..3] OF multiplex) IS
+            BEGIN
+                z == * : 3;
+                y := a
+            END;
+            SIGNAL u: t;
+            """
+        )
+
+    def test_star_rhs_expands_to_target_width(self):
+        circuit = compile_ok(
+            """
+            TYPE inner = COMPONENT (IN p: ARRAY [1..3] OF boolean;
+                                    OUT q: boolean) IS
+            BEGIN q := p[1] END;
+            t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            SIGNAL g: inner;
+            BEGIN
+                g.p := *;      <* all three inputs left open *>
+                y := g.q; * := a
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("a", 1)
+        sim.step()
+        assert str(sim.peek_bit("y")) == "UNDEF"
+
+    def test_two_flexible_stars_rejected(self):
+        with pytest.raises((ElaborationError, TypeError_)):
+            repro.compile_text(
+                """
+                TYPE inner = COMPONENT (IN p: ARRAY [1..3] OF boolean;
+                                        OUT q: boolean) IS
+                BEGIN q := p[1] END;
+                t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+                SIGNAL g: inner;
+                BEGIN
+                    g((*, a, *), y)
+                END;
+                SIGNAL u: t;
+                """
+            )
+
+
+class TestNumEdgeCases:
+    def test_address_beyond_array_reads_noinfl(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN addr: ARRAY [1..3] OF boolean;
+                                OUT y: boolean) IS
+            SIGNAL mem: ARRAY [0..3] OF boolean;  <* only 4 of 8 codes *>
+            BEGIN
+                FOR i := 0 TO 3 DO mem[i] := 1 END;
+                y := OR(mem[NUM(addr)], 0)
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("addr", 2)
+        sim.step()
+        assert str(sim.peek_bit("y")) == "1"
+        sim.poke("addr", 7)  # unaddressable: no element selected
+        sim.step()
+        assert str(sim.peek_bit("y")) == "UNDEF"
+
+    def test_num_write_guard_composes_with_if(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN we, d: boolean;
+                                IN addr: ARRAY [1..2] OF boolean;
+                                OUT y: ARRAY [1..4] OF boolean) IS
+            SIGNAL r: ARRAY [0..3] OF ARRAY [1..1] OF REG;
+            BEGIN
+                IF we THEN r[NUM(addr)].in := (d) END;
+                FOR i := 0 TO 3 DO y[i+1] := r[i].out[1] END;
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("we", 1); sim.poke("addr", 2); sim.poke("d", 1); sim.step()
+        sim.poke("we", 0); sim.step()
+        assert [str(b) for b in sim.peek("y")] == ["UNDEF", "UNDEF", "1", "UNDEF"]
+
+
+class TestRecordsAndBuses:
+    def test_record_local_signal_is_wires(self):
+        circuit = compile_ok(
+            """
+            TYPE bus = COMPONENT (data: ARRAY [1..4] OF boolean; tag: boolean);
+            t = COMPONENT (IN a: ARRAY [1..4] OF boolean; IN tg: boolean;
+                           OUT y: ARRAY [1..4] OF boolean; OUT yt: boolean) IS
+            SIGNAL b: bus;
+            BEGIN
+                b.data := a;
+                b.tag := tg;
+                y := b.data;
+                yt := b.tag
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("a", 9); sim.poke("tg", 1)
+        sim.step()
+        assert sim.peek_int("y") == 9
+        assert str(sim.peek_bit("yt")) == "1"
+
+    def test_record_cannot_take_connection_statement(self):
+        with pytest.raises(TypeError_, match="instantiated component"):
+            repro.compile_text(
+                """
+                TYPE bus = COMPONENT (p, q: boolean);
+                t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+                SIGNAL b: bus;
+                BEGIN b(a, y); y := a END;
+                SIGNAL u: t;
+                """
+            )
+
+
+class TestWithInteractions:
+    def test_with_under_if_guards_assignments(self):
+        circuit = compile_ok(
+            """
+            TYPE inner = COMPONENT (IN p: boolean; OUT q: boolean) IS
+            BEGIN q := NOT p END;
+            t = COMPONENT (IN en, a: boolean; OUT y: boolean; z: multiplex) IS
+            SIGNAL g: inner;
+            BEGIN
+                IF en THEN
+                    WITH g DO
+                        p := a;
+                        z := q
+                    END;
+                END;
+                * := g.q;
+                y := en
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("en", 0); sim.poke("a", 0); sim.step()
+        assert sim.peek("z")[0] is Logic.NOINFL
+        sim.poke("en", 1); sim.step()
+        assert str(sim.peek("z")[0]) == "1"
+
+    def test_nested_with_scopes(self):
+        circuit = compile_ok(
+            """
+            TYPE leaf = COMPONENT (IN p: boolean; OUT q: boolean) IS
+            BEGIN q := NOT p END;
+            mid = COMPONENT (IN x: boolean; OUT z: boolean) IS
+            SIGNAL inner: leaf;
+            BEGIN inner(x, z) END;
+            t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            SIGNAL m: mid;
+            BEGIN
+                WITH m DO
+                    x := a;
+                    y := z
+                END
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("a", 0)
+        sim.step()
+        assert str(sim.peek_bit("y")) == "1"
+
+
+class TestOctalAndConstants:
+    def test_octal_in_array_bounds(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN a: ARRAY [1..10B] OF boolean;
+                                OUT y: boolean) IS
+            BEGIN y := a[8] END;   <* 10B = 8 *>
+            SIGNAL u: t;
+            """
+        )
+        assert len(circuit.netlist.port("a").nets) == 8
+
+    def test_signal_constant_as_source(self):
+        circuit = compile_ok(
+            """
+            CONST pattern = (1, 0, 1, 1);
+            TYPE t = COMPONENT (IN a: boolean; OUT y: ARRAY [1..4] OF boolean) IS
+            BEGIN y := pattern; * := a END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.step()
+        assert sim.peek_int("y") == 0b1101
+
+    def test_indexed_constant(self):
+        circuit = compile_ok(
+            """
+            CONST table = ((0,0), (0,1), (1,0));
+            TYPE t = COMPONENT (IN a: boolean; OUT y: ARRAY [1..2] OF boolean) IS
+            BEGIN y := table[3]; * := a END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.step()
+        assert [str(b) for b in sim.peek("y")] == ["1", "0"]
+
+
+class TestMiscErrors:
+    def test_index_out_of_bounds_at_elaboration(self):
+        with pytest.raises(ElaborationError, match="out of bounds"):
+            repro.compile_text(
+                """
+                TYPE t = COMPONENT (IN a: ARRAY [1..3] OF boolean;
+                                    OUT y: boolean) IS
+                BEGIN y := a[4] END;
+                SIGNAL u: t;
+                """
+            )
+
+    def test_gate_width_mismatch(self):
+        with pytest.raises(TypeError_, match="same number"):
+            repro.compile_text(
+                """
+                TYPE t = COMPONENT (IN a: ARRAY [1..2] OF boolean;
+                                    IN b: ARRAY [1..3] OF boolean;
+                                    OUT y: ARRAY [1..2] OF boolean) IS
+                BEGIN y := AND(a, b) END;
+                SIGNAL u: t;
+                """
+            )
+
+    def test_equal_needs_two_args(self):
+        with pytest.raises(TypeError_, match="EQUAL takes two"):
+            repro.compile_text(
+                """
+                TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+                BEGIN y := EQUAL(a) END;
+                SIGNAL u: t;
+                """
+            )
+
+    def test_star_in_gate_rejected(self):
+        with pytest.raises((ElaborationError, TypeError_)):
+            repro.compile_text(
+                """
+                TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+                BEGIN y := AND(a, *) END;
+                SIGNAL u: t;
+                """
+            )

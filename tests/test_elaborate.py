@@ -1,0 +1,534 @@
+"""Elaboration tests: instantiation, meta-programming, laziness,
+connections, scoping (sections 3, 4)."""
+
+import pytest
+
+import repro
+from repro.core import elaborate
+from repro.lang import CheckError, ElaborationError, TypeError_, parse
+
+from zeus_test_utils import compile_ok
+
+
+def elab(text, top=None):
+    return elaborate(parse(text), top=top)
+
+
+class TestInstantiation:
+    def test_top_defaults_to_last_component_signal(self):
+        d = elab(
+            """
+            TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            BEGIN y := a END;
+            SIGNAL first, second: t;
+            """
+        )
+        assert d.name == "second"
+
+    def test_top_by_name(self):
+        d = elab(
+            """
+            TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            BEGIN y := a END;
+            SIGNAL first, second: t;
+            """,
+            top="first",
+        )
+        assert d.name == "first"
+
+    def test_unknown_top_rejected(self):
+        with pytest.raises(ElaborationError, match="no top-level"):
+            elab(
+                """
+                TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+                BEGIN y := a END;
+                SIGNAL x: t;
+                """,
+                top="nope",
+            )
+
+    def test_program_without_component_signal_rejected(self):
+        with pytest.raises(ElaborationError):
+            elab("SIGNAL x: boolean;")
+
+    def test_ports_have_modes(self):
+        d = elab(
+            """
+            TYPE t = COMPONENT (IN a: boolean; OUT y: boolean; z: multiplex) IS
+            BEGIN y := a END;
+            SIGNAL u: t;
+            """
+        )
+        modes = {p.name: p.mode for p in d.netlist.ports}
+        assert modes == {"a": "IN", "y": "OUT", "z": "INOUT"}
+
+    def test_function_type_cannot_be_signal(self):
+        with pytest.raises(TypeError_, match="function component"):
+            elab(
+                """
+                TYPE f = COMPONENT (IN a: boolean) : boolean IS
+                BEGIN RESULT a END;
+                SIGNAL s: f;
+                """
+            )
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(ElaborationError, match="duplicate"):
+            elab("CONST a = 1; a = 2;")
+
+
+class TestParameterizedTypes:
+    def test_array_width_from_parameter(self):
+        d = elab(
+            """
+            TYPE bo(n) = ARRAY [1..n] OF boolean;
+            t = COMPONENT (IN a: bo(6); OUT y: bo(6)) IS
+            BEGIN y := a END;
+            SIGNAL u: t;
+            """
+        )
+        assert len(d.netlist.port("a").nets) == 6
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(TypeError_, match="expects 1 parameter"):
+            elab(
+                """
+                TYPE bo(n) = ARRAY [1..n] OF boolean;
+                t = COMPONENT (IN a: bo(2, 3)) IS BEGIN END;
+                SIGNAL u: t;
+                """
+            )
+
+    def test_parameter_arithmetic(self):
+        d = elab(
+            """
+            TYPE bo(n) = ARRAY [1..2*n+1] OF boolean;
+            t = COMPONENT (IN a: bo(3); OUT y: bo(3)) IS
+            BEGIN y := a END;
+            SIGNAL u: t;
+            """
+        )
+        assert len(d.netlist.port("a").nets) == 7
+
+    def test_decreasing_bounds_rejected(self):
+        with pytest.raises(TypeError_):
+            elab(
+                """
+                TYPE t = COMPONENT (IN a: ARRAY [5..1] OF boolean) IS BEGIN END;
+                SIGNAL u: t;
+                """
+            )
+
+
+class TestMetaProgramming:
+    def test_for_replication(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN a: ARRAY [1..4] OF boolean;
+                                OUT y: ARRAY [1..4] OF boolean) IS
+            BEGIN
+                FOR i := 1 TO 4 DO y[i] := NOT a[i] END
+            END;
+            SIGNAL u: t;
+            """
+        )
+        assert circuit.stats()["gates"] == 4
+
+    def test_for_downto(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN a: ARRAY [1..3] OF boolean;
+                                OUT y: ARRAY [1..3] OF boolean) IS
+            BEGIN
+                FOR i := 3 DOWNTO 1 DO y[i] := a[4-i] END
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("a", [1, 0, 0])
+        sim.step()
+        assert [str(b) for b in sim.peek("y")] == ["0", "0", "1"]
+
+    def test_empty_for_range(self):
+        compile_ok(
+            """
+            TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            BEGIN
+                FOR i := 1 TO 0 DO y := 1 END;
+                y := a
+            END;
+            SIGNAL u: t;
+            """
+        )
+
+    def test_when_picks_first_true_arm(self):
+        circuit = compile_ok(
+            """
+            TYPE t(n) = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            BEGIN
+                WHEN n > 2 THEN y := NOT a
+                OTHERWISEWHEN n > 1 THEN y := a
+                OTHERWISE y := 0
+                END
+            END;
+            SIGNAL u: t(2);
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("a", 1)
+        sim.step()
+        assert str(sim.peek_bit("y")) == "1"  # the middle arm
+
+    def test_when_otherwise(self):
+        circuit = compile_ok(
+            """
+            TYPE t(n) = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            BEGIN
+                WHEN n > 2 THEN y := NOT a OTHERWISE y := 0 END
+            END;
+            SIGNAL u: t(1);
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("a", 1)
+        sim.step()
+        assert str(sim.peek_bit("y")) == "0"
+
+    def test_loop_variable_scoped(self):
+        with pytest.raises(ElaborationError, match="undeclared"):
+            elab(
+                """
+                TYPE t = COMPONENT (IN a: ARRAY[1..2] OF boolean;
+                                    OUT y: boolean) IS
+                BEGIN
+                    FOR i := 1 TO 2 DO * := a[i] END;
+                    y := a[i]
+                END;
+                SIGNAL u: t;
+                """
+            )
+
+
+class TestRecursionAndLaziness:
+    def test_recursive_type_with_when_terminates(self):
+        d = elab(
+            """
+            TYPE chain(n) = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            SIGNAL rest: chain(n-1);
+            BEGIN
+                WHEN n = 0 THEN y := a
+                OTHERWISE
+                    rest.a := NOT a;
+                    y := NOT rest.y
+                END
+            END;
+            SIGNAL u: chain(5);
+            """
+        )
+        assert d.netlist.stats()["gates"] == 10  # two NOTs per level
+
+    def test_unreferenced_instances_not_generated(self):
+        d = elab(
+            """
+            TYPE big = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            SIGNAL unused: ARRAY [1..100] OF COMPONENT (IN p: boolean;
+                                                        OUT q: boolean) IS
+            BEGIN q := NOT p END;
+            BEGIN y := a END;
+            SIGNAL u: big;
+            """
+        )
+        assert d.netlist.stats()["gates"] == 0
+
+    def test_infinite_recursion_diagnosed(self):
+        with pytest.raises(ElaborationError, match="recursion"):
+            elab(
+                """
+                TYPE loop(n) = COMPONENT (IN a: boolean; OUT y: boolean) IS
+                SIGNAL inner: loop(n+1);
+                BEGIN inner.a := a; y := inner.y END;
+                SIGNAL u: loop(1);
+                """
+            )
+
+
+class TestConnections:
+    def test_positional_modes(self):
+        circuit = compile_ok(
+            """
+            TYPE inv = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            BEGIN y := NOT a END;
+            t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            SIGNAL g: inv;
+            BEGIN g(a, y) END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("a", 0)
+        sim.step()
+        assert str(sim.peek_bit("y")) == "1"
+
+    def test_wrong_actual_count(self):
+        with pytest.raises(TypeError_, match="needs 2 actuals"):
+            elab(
+                """
+                TYPE inv = COMPONENT (IN a: boolean; OUT y: boolean) IS
+                BEGIN y := NOT a END;
+                t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+                SIGNAL g: inv;
+                BEGIN g(a) END;
+                SIGNAL u: t;
+                """
+            )
+
+    def test_array_connection_distributes(self):
+        circuit = compile_ok(
+            """
+            TYPE inv = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            BEGIN y := NOT a END;
+            t = COMPONENT (IN a: ARRAY [1..3] OF boolean;
+                           OUT y: ARRAY [1..3] OF boolean) IS
+            SIGNAL g: ARRAY [1..3] OF inv;
+            BEGIN g(a, y) END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("a", [1, 0, 1])
+        sim.step()
+        assert [str(b) for b in sim.peek("y")] == ["0", "1", "0"]
+
+    def test_tuple_actuals_flatten(self):
+        # "the parenthesis structure within the n signal expressions is
+        # unimportant" (section 4.7).
+        circuit = compile_ok(
+            """
+            TYPE h = COMPONENT (IN a: ARRAY [1..5] OF boolean;
+                                OUT b: COMPONENT (b1,c1,d1,e1,f1: boolean));
+            t = COMPONENT (IN p: ARRAY [1..2] OF boolean;
+                           IN q: ARRAY [1..3] OF boolean;
+                           OUT y: boolean) IS
+            SIGNAL s: COMPONENT (IN a: ARRAY [1..5] OF boolean;
+                                 OUT o: ARRAY [1..5] OF boolean) IS
+            BEGIN o := a END;
+            SIGNAL z: ARRAY [1..5] OF multiplex;
+            BEGIN
+                s((p, q), (z[1], z[2], z[3], z[4], z[5]));
+                y := z[1]
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("p", [1, 0])
+        sim.poke("q", [0, 0, 0])
+        sim.step()
+        assert str(sim.peek_bit("y")) == "1"
+
+    def test_star_in_tuple_absorbs(self):
+        circuit = compile_ok(
+            """
+            TYPE two = COMPONENT (IN a: ARRAY [1..3] OF boolean;
+                                  OUT y: boolean) IS
+            BEGIN y := a[1] END;
+            t = COMPONENT (IN p: boolean; OUT y: boolean) IS
+            SIGNAL g: two;
+            BEGIN g((p, *), y) END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("p", 1)
+        sim.step()
+        assert str(sim.peek_bit("y")) == "1"
+
+    def test_identical_connections_allowed(self):
+        # The paper's fulladder wires h2.a twice identically.
+        compile_ok(
+            """
+            TYPE inv = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            BEGIN y := NOT a END;
+            t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            SIGNAL g: inv;
+            BEGIN g(a, y); g(a, y) END;
+            SIGNAL u: t;
+            """
+        )
+
+    def test_abbreviated_field_over_array(self):
+        # r.in denotes r[1..n].in (section 4.1).
+        circuit = compile_ok(
+            """
+            TYPE cell = COMPONENT (IN in: boolean; OUT out: boolean) IS
+            BEGIN out := in END;
+            t = COMPONENT (IN a: ARRAY [1..3] OF boolean;
+                           OUT y: ARRAY [1..3] OF boolean) IS
+            SIGNAL r: ARRAY [1..3] OF cell;
+            BEGIN
+                r.in := a;
+                y := r.out
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("a", [0, 1, 0])
+        sim.step()
+        assert [str(b) for b in sim.peek("y")] == ["0", "1", "0"]
+
+
+class TestFunctionComponents:
+    def test_call_with_explicit_type_args(self):
+        circuit = compile_ok(
+            """
+            TYPE bo(n) = ARRAY [1..n] OF boolean;
+            first(n) = COMPONENT (IN a: bo(n)) : boolean IS
+            BEGIN RESULT a[1] END;
+            t = COMPONENT (IN a: bo(3); OUT y: boolean) IS
+            BEGIN y := first[3](a) END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("a", [1, 0, 0])
+        sim.step()
+        assert str(sim.peek_bit("y")) == "1"
+
+    def test_call_with_inferred_type_args(self):
+        circuit = compile_ok(
+            """
+            TYPE bo(n) = ARRAY [1..n] OF boolean;
+            first(n) = COMPONENT (IN a: bo(n)) : boolean IS
+            BEGIN RESULT a[1] END;
+            t = COMPONENT (IN a: bo(3); OUT y: boolean) IS
+            BEGIN y := first(a) END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("a", [0, 1, 1])
+        sim.step()
+        assert str(sim.peek_bit("y")) == "0"
+
+    def test_result_outside_function_rejected(self):
+        with pytest.raises(TypeError_, match="RESULT"):
+            elab(
+                """
+                TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+                BEGIN RESULT a END;
+                SIGNAL u: t;
+                """
+            )
+
+    def test_conditional_results_make_multiplex(self):
+        circuit = compile_ok(
+            """
+            TYPE pick = COMPONENT (IN sel, a, b: boolean) : boolean IS
+            BEGIN
+                IF sel THEN RESULT a ELSE RESULT b END
+            END;
+            t = COMPONENT (IN sel, a, b: boolean; OUT y: boolean) IS
+            BEGIN y := pick(sel, a, b) END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("sel", 1); sim.poke("a", 0); sim.poke("b", 1)
+        sim.step()
+        assert str(sim.peek_bit("y")) == "0"
+        sim.poke("sel", 0)
+        sim.step()
+        assert str(sim.peek_bit("y")) == "1"
+
+    def test_nested_function_calls(self):
+        circuit = compile_ok(
+            """
+            TYPE inv = COMPONENT (IN a: boolean) : boolean IS
+            BEGIN RESULT NOT a END;
+            t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            BEGIN y := inv(inv(a)) END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("a", 1)
+        sim.step()
+        assert str(sim.peek_bit("y")) == "1"
+
+
+class TestScoping:
+    def test_uses_wall_blocks_unlisted(self):
+        with pytest.raises(ElaborationError, match="undeclared"):
+            elab(
+                """
+                CONST k = 3;
+                TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+                USES ;
+                SIGNAL s: ARRAY [1..k] OF boolean;
+                BEGIN y := a END;
+                SIGNAL u: t;
+                """
+            )
+
+    def test_uses_wall_admits_listed(self):
+        compile_ok(
+            """
+            CONST k = 3;
+            TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            USES k;
+            SIGNAL s: ARRAY [1..k] OF boolean;
+            BEGIN y := a; s[1] := a; * := s[1]; s[2] := a; * := s[2];
+                  s[3] := a; * := s[3] END;
+            SIGNAL u: t;
+            """
+        )
+
+    def test_pervasive_types_cross_uses_wall(self):
+        compile_ok(
+            """
+            TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            USES ;
+            SIGNAL r: REG;
+            BEGIN r(a, y) END;
+            SIGNAL u: t;
+            """
+        )
+
+    def test_with_opens_pins(self):
+        circuit = compile_ok(
+            """
+            TYPE inv = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            BEGIN y := NOT a END;
+            t = COMPONENT (IN p: boolean; OUT q: boolean) IS
+            SIGNAL g: inv;
+            BEGIN
+                WITH g DO
+                    a := p;
+                    q := y
+                END
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("p", 0)
+        sim.step()
+        assert str(sim.peek_bit("q")) == "1"
+
+    def test_inner_shadows_outer(self):
+        circuit = compile_ok(
+            """
+            CONST n = 2;
+            TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            CONST n = 4;
+            SIGNAL s: ARRAY [1..n] OF boolean;
+            BEGIN
+                FOR i := 1 TO 4 DO s[i] := a; * := s[i] END;
+                y := a
+            END;
+            SIGNAL u: t;
+            """
+        )
+        assert circuit is not None

@@ -1,0 +1,130 @@
+"""Error-message quality: diagnostics point at the offending source."""
+
+import pytest
+
+import repro
+from repro.lang import CheckError, ParseError, SourceText, TypeError_
+
+
+def diag_text(text):
+    circuit = repro.compile_text(text, strict=False)
+    return circuit.diagnostics.render()
+
+
+class TestParseErrorLocations:
+    def test_parse_error_carries_span(self):
+        text = "TYPE t = COMPONENT (IN a boolean) IS BEGIN END;"
+        with pytest.raises(ParseError) as err:
+            repro.compile_text(text)
+        src = SourceText(text)
+        pos = src.position(err.value.span.start)
+        # The error points at 'boolean' (the missing ':').
+        assert text[err.value.span.start:].startswith("boolean")
+        assert pos.line == 1
+
+    def test_lex_error_names_character(self):
+        with pytest.raises(Exception, match="illegal character"):
+            repro.compile_text("TYPE t = @;")
+
+
+class TestCheckErrorMessages:
+    def test_double_drive_names_signal_and_rule(self):
+        text = """
+TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+SIGNAL p: boolean;
+BEGIN p := 1; p := 0; y := a; * := p END;
+SIGNAL u: t;
+"""
+        rendered = diag_text(text)
+        assert "'u.p'" in rendered
+        assert "power to ground" in rendered
+
+    def test_cycle_error_shows_path(self):
+        text = """
+TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+SIGNAL s1, s2: boolean;
+BEGIN s1 := NOT s2; s2 := NOT s1; y := s1 END;
+SIGNAL u: t;
+"""
+        rendered = diag_text(text)
+        assert "feedback loop" in rendered
+        assert "->" in rendered
+
+    def test_unused_port_suggests_star(self):
+        text = """
+TYPE inner = COMPONENT (IN p: boolean; OUT q: boolean) IS
+BEGIN q := p END;
+t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+SIGNAL g: inner;
+BEGIN g.p := a; y := a END;
+SIGNAL u: t;
+"""
+        rendered = diag_text(text)
+        assert "close it explicitly with '*'" in rendered
+
+    def test_errors_cite_the_paper_sections(self):
+        text = """
+TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+SIGNAL p: boolean;
+BEGIN IF a THEN p := 1 END; y := a; * := p END;
+SIGNAL u: t;
+"""
+        rendered = diag_text(text)
+        assert "section 4.7" in rendered
+
+
+class TestTypeErrorMessages:
+    def test_formal_in_assignment(self):
+        with pytest.raises(TypeError_, match="formal IN parameter"):
+            repro.compile_text(
+                """
+TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+BEGIN a := 1; y := a END;
+SIGNAL u: t;
+"""
+            )
+
+    def test_width_mismatch_reports_widths(self):
+        with pytest.raises(Exception, match="width 2 does not match"):
+            repro.compile_text(
+                """
+TYPE t = COMPONENT (IN a: ARRAY [1..2] OF boolean;
+                    OUT y: ARRAY [1..3] OF boolean) IS
+BEGIN y := a END;
+SIGNAL u: t;
+"""
+            )
+
+    def test_unknown_pin_names_component(self):
+        with pytest.raises(Exception, match="has no pin 'zz'"):
+            repro.compile_text(
+                """
+TYPE inner = COMPONENT (IN p: boolean; OUT q: boolean) IS
+BEGIN q := p END;
+t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+SIGNAL g: inner;
+BEGIN g.zz := a; y := g.q END;
+SIGNAL u: t;
+"""
+            )
+
+    def test_undeclared_identifier(self):
+        with pytest.raises(Exception, match="undeclared identifier 'ghost'"):
+            repro.compile_text(
+                """
+TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+BEGIN y := ghost END;
+SIGNAL u: t;
+"""
+            )
+
+    def test_recursion_hint(self):
+        with pytest.raises(Exception, match="WHEN termination"):
+            repro.compile_text(
+                """
+TYPE loop(n) = COMPONENT (IN a: boolean; OUT y: boolean) IS
+SIGNAL inner: loop(n+1);
+BEGIN inner.a := a; y := inner.y END;
+SIGNAL u: loop(1);
+"""
+            )

@@ -1,0 +1,235 @@
+"""The extension circuits of experiment E11: systolic stack, AM2901-style
+ALU slice, dictionary machine."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.stdlib import extras
+
+_CACHE = {}
+
+
+def circuit(name):
+    if name not in _CACHE:
+        _CACHE[name] = repro.compile_text(extras.EXTRA_PROGRAMS[name])
+    return _CACHE[name]
+
+
+class StackDriver:
+    def __init__(self):
+        self.sim = circuit("stack").simulator()
+        s = self.sim
+        s.poke("RSET", 1); s.poke("push", 0); s.poke("pop", 0); s.poke("din", 0)
+        s.step()
+        s.poke("RSET", 0)
+
+    def push(self, v):
+        self.sim.poke("push", 1); self.sim.poke("pop", 0)
+        self.sim.poke("din", v); self.sim.step()
+        self.sim.poke("push", 0)
+
+    def pop(self):
+        top = self.top()
+        self.sim.poke("push", 0); self.sim.poke("pop", 1); self.sim.step()
+        self.sim.poke("pop", 0)
+        return top
+
+    def idle(self):
+        self.sim.poke("push", 0); self.sim.poke("pop", 0); self.sim.step()
+
+    def top(self):
+        self.sim.poke("push", 0); self.sim.poke("pop", 0)
+        self.sim.evaluate()
+        return self.sim.peek_int("top")
+
+    def empty(self):
+        self.sim.poke("push", 0); self.sim.poke("pop", 0)
+        self.sim.evaluate()
+        return str(self.sim.peek_bit("empty")) == "1"
+
+
+class TestSystolicStack:
+    def test_lifo_discipline(self):
+        stk = StackDriver()
+        for v in (3, 7, 12):
+            stk.push(v)
+        assert stk.pop() == 12
+        assert stk.pop() == 7
+        assert stk.pop() == 3
+        assert stk.empty()
+
+    def test_interleaved_push_pop(self):
+        stk = StackDriver()
+        stk.push(1)
+        stk.push(2)
+        assert stk.pop() == 2
+        stk.push(5)
+        assert stk.pop() == 5
+        assert stk.pop() == 1
+        assert stk.empty()
+
+    def test_empty_flag_transitions(self):
+        stk = StackDriver()
+        assert stk.empty()
+        stk.push(9)
+        assert not stk.empty()
+        stk.pop()
+        assert stk.empty()
+
+    @given(st.lists(st.sampled_from(["push", "pop"]), max_size=20))
+    @settings(max_examples=10, deadline=None)
+    def test_random_ops_match_list_model(self, ops):
+        stk = StackDriver()
+        model = []
+        value = 1
+        for op in ops:
+            if op == "push" and len(model) < 8:
+                stk.push(value % 16)
+                model.append(value % 16)
+                value += 1
+            elif op == "pop" and model:
+                assert stk.pop() == model.pop()
+        if model:
+            assert stk.top() == model[-1]
+        assert stk.empty() == (not model)
+
+
+class Am2901Driver:
+    SRC = {"AQ": 0, "AB": 1, "ZQ": 2, "ZB": 3, "ZA": 4, "DA": 5, "DQ": 6, "DZ": 7}
+    FUNC = {"ADD": 0, "SUBR": 1, "SUBS": 2, "OR": 3, "AND": 4,
+            "NOTRS": 5, "EXOR": 6, "EXNOR": 7}
+    DEST = {"NONE": 0, "Q": 1, "RAM": 2, "BOTH": 3}
+
+    def __init__(self):
+        self.sim = circuit("am2901").simulator()
+
+    def op(self, src, func, dest, d=0, a=0, b=0):
+        s = self.sim
+        s.poke("d", d); s.poke("aaddr", a); s.poke("baddr", b)
+        s.poke("src", self.SRC[src]); s.poke("func", self.FUNC[func])
+        s.poke("dest", self.DEST[dest])
+        s.step()
+        return (s.peek_int("y"), str(s.peek_bit("cout")), str(s.peek_bit("zero")))
+
+    def load(self, reg, value):
+        self.op("DZ", "ADD", "RAM", d=value, b=reg)
+
+
+class TestAm2901:
+    def test_load_and_read_registers(self):
+        alu = Am2901Driver()
+        alu.load(2, 11)
+        alu.load(9, 4)
+        y, _, _ = alu.op("AB", "OR", "NONE", a=2, b=9)
+        assert y == 11 | 4
+
+    @pytest.mark.parametrize("func,expect", [
+        ("ADD", (9 + 4) & 15),
+        ("SUBR", (4 - 9) & 15),
+        ("SUBS", (9 - 4) & 15),
+        ("OR", 9 | 4),
+        ("AND", 9 & 4),
+        ("NOTRS", (~9 & 4) & 15),
+        ("EXOR", 9 ^ 4),
+        ("EXNOR", (~(9 ^ 4)) & 15),
+    ])
+    def test_alu_functions(self, func, expect):
+        alu = Am2901Driver()
+        alu.load(1, 9)
+        alu.load(2, 4)
+        y, _, _ = alu.op("AB", func, "NONE", a=1, b=2)
+        assert y == expect
+
+    def test_carry_out(self):
+        alu = Am2901Driver()
+        alu.load(1, 15)
+        alu.load(2, 1)
+        y, cout, zero = alu.op("AB", "ADD", "NONE", a=1, b=2)
+        assert (y, cout, zero) == (0, "1", "1")
+
+    def test_q_register_path(self):
+        alu = Am2901Driver()
+        alu.op("DZ", "ADD", "Q", d=6)       # Q := 6
+        y, _, _ = alu.op("DQ", "ADD", "NONE", d=3)  # Y = D + Q
+        assert y == 9
+
+    def test_zero_source(self):
+        alu = Am2901Driver()
+        alu.load(3, 12)
+        y, _, _ = alu.op("ZA", "ADD", "NONE", a=3)
+        assert y == 12
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=10, deadline=None)
+    def test_add_random(self, x, y_in):
+        alu = Am2901Driver()
+        alu.load(0, x)
+        alu.load(1, y_in)
+        y, cout, _ = alu.op("AB", "ADD", "NONE", a=0, b=1)
+        assert y + (16 if cout == "1" else 0) == x + y_in
+
+
+class TestDictionary:
+    LATENCY = 5
+
+    def make(self):
+        sim = circuit("dictionary").simulator()
+        sim.poke("RSET", 1)
+        for k in ("load", "del", "slot", "key", "query"):
+            sim.poke(k, 0)
+        sim.step()
+        sim.poke("RSET", 0)
+        return sim
+
+    def load(self, sim, slot, key):
+        sim.poke("load", 1); sim.poke("slot", slot); sim.poke("key", key)
+        sim.step()
+        sim.poke("load", 0)
+
+    def member(self, sim, key):
+        sim.poke("query", key)
+        sim.step(self.LATENCY)
+        return str(sim.peek_bit("member")) == "1"
+
+    def test_member_queries(self):
+        sim = self.make()
+        for slot, key in [(0, 13), (3, 42), (7, 7)]:
+            self.load(sim, slot, key)
+        assert self.member(sim, 42)
+        assert self.member(sim, 13)
+        assert not self.member(sim, 9)
+
+    def test_delete(self):
+        sim = self.make()
+        self.load(sim, 2, 30)
+        assert self.member(sim, 30)
+        sim.poke("del", 1); sim.poke("slot", 2); sim.step()
+        sim.poke("del", 0)
+        assert not self.member(sim, 30)
+
+    def test_overwrite_slot(self):
+        sim = self.make()
+        self.load(sim, 1, 10)
+        self.load(sim, 1, 20)
+        assert not self.member(sim, 10)
+        assert self.member(sim, 20)
+
+    def test_pipelined_throughput(self):
+        """One query per cycle: answers emerge latency cycles later in
+        order."""
+        sim = self.make()
+        self.load(sim, 0, 5)
+        queries = [5, 6, 5, 7, 5]
+        answers = []
+        # Fill the pipe, then read one answer per cycle.
+        total = len(queries) + self.LATENCY - 1
+        for t in range(total):
+            sim.poke("query", queries[t] if t < len(queries) else 0)
+            sim.step()
+            answers.append(str(sim.peek_bit("member")))
+        got = answers[self.LATENCY - 1 : self.LATENCY - 1 + len(queries)]
+        assert got == ["1", "0", "1", "0", "1"]

@@ -1,0 +1,217 @@
+"""Layout language tests (paper section 6): slicing floorplans,
+orientations, boundary pins, replacement, and the H-tree area result."""
+
+import math
+
+import pytest
+
+import repro
+from repro.layout import ORIENTATIONS, Rect, compute_layout, orientation
+from repro.layout.geometry import IDENTITY
+from repro.stdlib import programs
+
+from zeus_test_utils import compile_ok
+
+
+def layout_of(text, top=None):
+    return repro.compile_text(text, top=top).layout()
+
+
+class TestGeometry:
+    def test_rect_basics(self):
+        r = Rect(1, 2, 3, 4)
+        assert (r.x2, r.y2, r.area) == (4, 6, 12)
+
+    def test_overlap(self):
+        assert Rect(0, 0, 2, 2).overlaps(Rect(1, 1, 2, 2))
+        assert not Rect(0, 0, 2, 2).overlaps(Rect(2, 0, 2, 2))
+
+    def test_union(self):
+        u = Rect(0, 0, 1, 1).union(Rect(3, 3, 1, 1))
+        assert (u.w, u.h) == (4, 4)
+
+    def test_rotations_swap_dimensions(self):
+        for name in ("rotate90", "rotate270", "flip45", "flip135"):
+            assert orientation(name).size(3, 5) == (5, 3)
+        for name in ("rotate180", "flip0", "flip90"):
+            assert orientation(name).size(3, 5) == (3, 5)
+
+    def test_dihedral_group_closure(self):
+        """The seven named elements plus identity form D4."""
+        elements = {IDENTITY} | set(ORIENTATIONS.values())
+        assert len(elements) == 8
+        for a in elements:
+            for b in elements:
+                assert a.compose(b) in elements
+
+    def test_rotate90_four_times_is_identity(self):
+        r = orientation("rotate90")
+        assert r.compose(r).compose(r).compose(r) == IDENTITY
+
+    def test_flips_are_involutions(self):
+        for name in ("flip0", "flip45", "flip90", "flip135"):
+            f = orientation(name)
+            assert f.compose(f) == IDENTITY
+
+    def test_unknown_orientation(self):
+        with pytest.raises(ValueError):
+            orientation("rotate45")
+
+
+class TestOrderArrangements:
+    BASE = """
+    TYPE cell = COMPONENT (IN a: boolean; OUT y: boolean) IS
+    BEGIN y := a END;
+    t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+    SIGNAL c: ARRAY [1..4] OF cell;
+    {layout}
+    BEGIN
+        c[1].a := a;
+        FOR i := 2 TO 4 DO c[i].a := c[i-1].y END;
+        y := c[4].y
+    END;
+    SIGNAL u: t;
+    """
+
+    def plan(self, layout):
+        return layout_of(self.BASE.replace("{layout}", layout))
+
+    def test_lefttoright_row(self):
+        plan = self.plan("{ ORDER lefttoright FOR i := 1 TO 4 DO c[i] END END }")
+        assert (plan.width, plan.height) == (4, 1)
+        xs = sorted(r.x for _, r in plan.iter_cells())
+        assert xs == [0, 1, 2, 3]
+
+    def test_righttoleft_reverses(self):
+        ltr = self.plan("{ ORDER lefttoright c[1]; c[2]; c[3]; c[4] END }")
+        rtl = self.plan("{ ORDER righttoleft c[1]; c[2]; c[3]; c[4] END }")
+        first_ltr = next(r for n, r in ltr.iter_cells() if "c[1]" in n)
+        first_rtl = next(r for n, r in rtl.iter_cells() if "c[1]" in n)
+        assert first_ltr.x == 0 and first_rtl.x == 3
+
+    def test_toptobottom_column(self):
+        plan = self.plan("{ ORDER toptobottom FOR i := 1 TO 4 DO c[i] END END }")
+        assert (plan.width, plan.height) == (1, 4)
+
+    def test_diagonal_staircase(self):
+        plan = self.plan(
+            "{ ORDER toplefttobottomright FOR i := 1 TO 4 DO c[i] END END }"
+        )
+        assert (plan.width, plan.height) == (4, 4)
+        cells = dict(plan.iter_cells())
+        assert len(cells) == 4
+
+    def test_nested_orders(self):
+        plan = self.plan(
+            "{ ORDER lefttoright ORDER toptobottom c[1]; c[2] END; "
+            "ORDER toptobottom c[3]; c[4] END; END }"
+        )
+        assert (plan.width, plan.height) == (2, 2)
+
+    def test_no_overlaps(self):
+        plan = self.plan(
+            "{ ORDER lefttoright ORDER toptobottom c[1]; c[2] END; "
+            "ORDER toptobottom c[3]; c[4] END; END }"
+        )
+        cells = list(plan.iter_cells())
+        for i, (_, a) in enumerate(cells):
+            for _, b in cells[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_unplaced_cells_get_default_stack(self):
+        plan = self.plan("")  # no layout at all
+        assert plan.leaf_count() == 4
+        assert (plan.width, plan.height) == (1, 4)
+
+    def test_render_text_covers_grid(self):
+        plan = self.plan("{ ORDER lefttoright FOR i := 1 TO 4 DO c[i] END END }")
+        assert plan.render_text() == "cccc"
+
+    def test_render_svg_contains_cells(self):
+        plan = self.plan("{ ORDER lefttoright FOR i := 1 TO 4 DO c[i] END END }")
+        svg = plan.render_svg()
+        assert svg.count("<rect") == 4
+
+
+class TestBoundaryPins:
+    def test_pins_recorded(self):
+        plan = layout_of(
+            """
+            TYPE t = COMPONENT (IN a: boolean; OUT y: boolean)
+            { BOTTOM a; y } IS
+            BEGIN y := a END;
+            SIGNAL u: t;
+            """
+        )
+        assert plan.pins.get("bottom") == ["a", "y"]
+
+    def test_multiple_sides(self):
+        plan = layout_of(
+            """
+            TYPE t = COMPONENT (IN a: boolean; OUT y: boolean)
+            { LEFT a; RIGHT y } IS
+            BEGIN y := a END;
+            SIGNAL u: t;
+            """
+        )
+        assert plan.pins.get("left") == ["a"]
+        assert plan.pins.get("right") == ["y"]
+
+
+class TestPaperLayouts:
+    def test_adder_row(self):
+        plan = layout_of(programs.ripple_carry(8), top="adder")
+        assert plan.width == 8  # one fulladder per column
+
+    @pytest.mark.parametrize("n", [1, 4, 16, 64])
+    def test_htree_linear_area(self, n):
+        plan = layout_of(programs.htree(n))
+        side = max(1, int(math.sqrt(n)))
+        assert (plan.width, plan.height) == (side, side)
+        assert plan.area == max(1, n)
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 32])
+    def test_naive_tree_superlinear_area(self, n):
+        plan = layout_of(programs.trees(n), top="b")
+        # Width n/2 leaves-row, height log2(n): Theta(n log n) area.
+        assert plan.width == n // 2
+        assert plan.height == int(math.log2(n))
+
+    def test_htree_beats_naive_tree_asymptotically(self):
+        ratios = []
+        for n in (16, 64):
+            h = layout_of(programs.htree(n)).area
+            t = layout_of(programs.trees(n), top="b").area
+            ratios.append(t / h)
+        assert ratios[1] > ratios[0] > 1
+
+    def test_chessboard_grid(self):
+        plan = layout_of(programs.chessboard(4))
+        assert (plan.width, plan.height) == (4, 4)
+        assert plan.leaf_count() == 16
+
+    def test_patternmatch_column_per_cell(self):
+        plan = layout_of(programs.patternmatch(5))
+        assert plan.width == 5
+        # Column: comparator (p over s) above accumulator (tp, l, x, r).
+        assert plan.height == 6
+        assert plan.leaf_count() == 30
+
+    def test_orientation_in_htree_layout(self):
+        plan = layout_of(programs.htree(16))
+        # flip90 cells exist in the hierarchy.
+        def collect(p):
+            out = [p.orientation] if p.orientation else []
+            for c in p.children:
+                out += collect(c)
+            return out
+
+        assert "flip90" in collect(plan)
+
+
+class TestReplacementInteraction:
+    def test_replaced_cells_are_placed(self):
+        plan = layout_of(programs.chessboard(2))
+        names = [n for n, _ in plan.iter_cells()]
+        assert len(names) == 4
+        assert all("m[" in n for n in names)

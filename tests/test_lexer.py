@@ -1,0 +1,154 @@
+"""Lexer tests: the vocabulary of paper section 2."""
+
+import pytest
+
+from repro.lang import LexError, SourceText, TokenKind, tokenize
+from repro.lang.lexer import Lexer
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop EOF
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)][:-1]
+
+
+class TestIdentifiersAndKeywords:
+    def test_simple_identifier(self):
+        toks = tokenize("foo")
+        assert toks[0].kind is TokenKind.IDENT
+        assert toks[0].text == "foo"
+
+    def test_identifier_with_digits(self):
+        assert texts("h2 x3y") == ["h2", "x3y"]
+
+    def test_keywords_are_reserved(self):
+        assert kinds("COMPONENT ARRAY BEGIN END") == [
+            TokenKind.COMPONENT,
+            TokenKind.ARRAY,
+            TokenKind.BEGIN,
+            TokenKind.END,
+        ]
+
+    def test_keywords_are_case_sensitive(self):
+        # Lowercase 'array' is an ordinary identifier (the Blackjack
+        # example uses 'end' as a constant name).
+        assert kinds("array end END") == [
+            TokenKind.IDENT,
+            TokenKind.IDENT,
+            TokenKind.END,
+        ]
+
+    def test_all_paper_keywords(self):
+        words = (
+            "AND ARRAY BEGIN BIN BOTTOM CLK COMPONENT CONST DIV DO DOWNTO "
+            "ELSE ELSIF END FOR IF IN IS LEFT MOD NOT NUM OF OR ORDER "
+            "OTHERWISE OTHERWISEWHEN OUT PARALLEL RSET RESULT RIGHT "
+            "SEQUENTIAL SEQUENTIALLY SIGNAL THEN TO TOP TYPE USES WHEN WITH"
+        )
+        ks = kinds(words)
+        assert all(k is not TokenKind.IDENT for k in ks)
+        assert len(ks) == len(words.split())
+
+    def test_predefined_components_are_identifiers(self):
+        # REG, XOR, EQUAL etc. are pervasive identifiers, not keywords.
+        assert kinds("REG XOR EQUAL NAND NOR RANDOM") == [TokenKind.IDENT] * 6
+
+
+class TestNumbers:
+    def test_decimal(self):
+        tok = tokenize("1234")[0]
+        assert tok.kind is TokenKind.NUMBER
+        assert tok.value == 1234
+
+    def test_octal_suffix_B(self):
+        assert tokenize("17B")[0].value == 0o17
+
+    def test_octal_suffix_lowercase(self):
+        assert tokenize("17b")[0].value == 0o17
+
+    def test_invalid_octal_digits(self):
+        with pytest.raises(LexError):
+            tokenize("19B")
+
+    def test_number_followed_by_letters_is_error(self):
+        with pytest.raises(LexError):
+            tokenize("12x")
+
+    def test_zero(self):
+        assert tokenize("0")[0].value == 0
+
+
+class TestSymbols:
+    def test_assignment_operators(self):
+        assert kinds(":= ==") == [TokenKind.ASSIGN, TokenKind.ALIAS]
+
+    def test_relations(self):
+        assert kinds("< <= > >= = <>") == [
+            TokenKind.LT,
+            TokenKind.LE,
+            TokenKind.GT,
+            TokenKind.GE,
+            TokenKind.EQ,
+            TokenKind.NEQ,
+        ]
+
+    def test_range_vs_dot(self):
+        assert kinds(".. .") == [TokenKind.DOTDOT, TokenKind.DOT]
+
+    def test_longest_match(self):
+        # ':=' must not lex as ':' '='.
+        assert kinds("a:=b") == [TokenKind.IDENT, TokenKind.ASSIGN, TokenKind.IDENT]
+
+    def test_brackets_braces(self):
+        assert kinds("()[]{}") == [
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.LBRACKET,
+            TokenKind.RBRACKET,
+            TokenKind.LBRACE,
+            TokenKind.RBRACE,
+        ]
+
+    def test_star(self):
+        assert kinds("*") == [TokenKind.STAR]
+
+    def test_illegal_character(self):
+        with pytest.raises(LexError):
+            tokenize("a ? b")
+
+
+class TestComments:
+    def test_simple_comment(self):
+        assert texts("a <* comment *> b") == ["a", "b"]
+
+    def test_nested_comments(self):
+        assert texts("a <* outer <* inner *> still out *> b") == ["a", "b"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a <* never ends")
+
+    def test_comment_with_symbols(self):
+        assert texts("x <* the * indicates no connection :=; *> y") == ["x", "y"]
+
+
+class TestPositions:
+    def test_spans_point_at_source(self):
+        src = SourceText("abc  def", "t.zeus")
+        toks = Lexer(src).tokens()
+        assert src.snippet(toks[0].span) == "abc"
+        assert src.snippet(toks[1].span) == "def"
+
+    def test_line_column(self):
+        src = SourceText("a\n  b\n")
+        toks = Lexer(src).tokens()
+        pos = src.position(toks[1].span.start)
+        assert (pos.line, pos.column) == (2, 3)
+
+    def test_eof_token_present(self):
+        assert tokenize("")[0].kind is TokenKind.EOF
+
+    def test_whitespace_only(self):
+        assert tokenize("  \t\n ")[0].kind is TokenKind.EOF

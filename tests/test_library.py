@@ -1,0 +1,164 @@
+"""The reusable Zeus block library (stdlib.library)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.stdlib import library
+
+_CACHE = {}
+
+
+def block(name, *args):
+    key = (name, args)
+    if key not in _CACHE:
+        builder = library.BLOCKS[name] if name in library.BLOCKS else getattr(library, name)
+        _CACHE[key] = repro.compile_text(builder(*args))
+    return _CACHE[key]
+
+
+class TestDecoder:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_one_hot(self, n):
+        sim = block("decoder", n).simulator()
+        for a in range(1 << n):
+            sim.poke("a", a)
+            sim.step()
+            lines = [str(sim.peek_bit(f"line[{i}]")) for i in range(1 << n)]
+            assert lines == ["1" if i == a else "0" for i in range(1 << n)]
+
+
+class TestEncoder:
+    def test_inverse_of_decoder(self):
+        sim = block("encoder", 3).simulator()
+        for i in range(8):
+            sim.poke("line", [1 if j == i else 0 for j in range(8)])
+            sim.step()
+            assert sim.peek_int("a") == i
+            assert str(sim.peek_bit("valid")) == "1"
+
+    def test_priority(self):
+        sim = block("encoder", 3).simulator()
+        sim.poke("line", [1, 0, 1, 0, 0, 0, 1, 0])
+        sim.step()
+        assert sim.peek_int("a") == 6  # highest line wins
+
+    def test_invalid_when_no_line(self):
+        sim = block("encoder", 3).simulator()
+        sim.poke("line", [0] * 8)
+        sim.step()
+        assert str(sim.peek_bit("valid")) != "1"
+
+
+class TestMuxN:
+    def test_selects_word(self):
+        circuit = repro.compile_text(library.muxn(4, 8))
+        sim = circuit.simulator()
+        words = [17, 42, 99, 200]
+        for i, w in enumerate(words):
+            sim.poke(f"d[{i}]", w)
+        for sel, want in enumerate(words):
+            sim.poke("sel", sel)
+            sim.step()
+            assert sim.peek_int("y") == want
+
+
+class TestCounter:
+    def test_counts_modulo(self):
+        sim = block("counter", 3).simulator()
+        sim.poke("RSET", 1); sim.poke("en", 0); sim.step()
+        sim.poke("RSET", 0); sim.poke("en", 1)
+        seen = []
+        for _ in range(10):
+            sim.step()
+            seen.append(sim.peek_int("count"))
+        assert seen == [(t % 8) for t in range(10)]
+
+    def test_enable_freezes(self):
+        sim = block("counter", 3).simulator()
+        sim.poke("RSET", 1); sim.poke("en", 0); sim.step()
+        sim.poke("RSET", 0); sim.poke("en", 1)
+        sim.step(3)
+        sim.poke("en", 0)
+        sim.step(4)
+        # Three enabled cycles latched increments to 3; disabling holds it.
+        assert sim.peek_int("count") == 3
+
+    def test_carry_at_maximum(self):
+        sim = block("counter", 2).simulator()
+        sim.poke("RSET", 1); sim.poke("en", 0); sim.step()
+        sim.poke("RSET", 0); sim.poke("en", 1)
+        carries = []
+        for _ in range(8):
+            sim.step()
+            carries.append(str(sim.peek_bit("carry")))
+        # count visits 0,1,2,3,0,1,2,3 -> carry on the 3s.
+        assert carries == ["0", "0", "0", "1"] * 2
+
+
+class TestShiftReg:
+    def test_serial_to_parallel(self):
+        sim = block("shiftreg", 4).simulator()
+        pattern = [1, 0, 1, 1]
+        sim.poke("en", 1)
+        for bit in pattern:
+            sim.poke("din", bit)
+            sim.step()
+        sim.step()
+        # q[1] holds the most recent bit.
+        got = [str(b) for b in sim.peek("q")]
+        assert got == [str(b) for b in reversed(pattern)]
+
+    def test_disabled_holds(self):
+        sim = block("shiftreg", 4).simulator()
+        sim.poke("en", 1); sim.poke("din", 1)
+        sim.step(4)
+        sim.poke("en", 0); sim.poke("din", 0)
+        sim.step(3)
+        assert sim.peek_int("q") == 15
+
+
+class TestParity:
+    @given(st.integers(0, 255))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_popcount(self, value):
+        sim = block("parity", 8).simulator()
+        sim.poke("a", value)
+        sim.step()
+        assert str(sim.peek_bit("odd1")) == str(bin(value).count("1") % 2)
+
+
+class TestComparator:
+    @given(st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=25, deadline=None)
+    def test_trichotomy(self, a, b):
+        sim = block("comparator", 4).simulator()
+        sim.poke("a", a); sim.poke("b", b)
+        sim.step()
+        flags = (
+            str(sim.peek_bit("eq")),
+            str(sim.peek_bit("ltu")),
+            str(sim.peek_bit("gtu")),
+        )
+        want = (str(int(a == b)), str(int(a < b)), str(int(a > b)))
+        assert flags == want
+
+
+class TestLfsr:
+    def test_maximal_period_n4(self):
+        """Taps (4, 3) give the maximal 2^4 - 1 sequence."""
+        sim = block("lfsr", 4).simulator()
+        sim.poke("RSET", 1); sim.poke("en", 0); sim.step()
+        sim.poke("RSET", 0); sim.poke("en", 1)
+        seen = []
+        for _ in range(16):
+            sim.step()
+            seen.append(sim.peek_int("state"))
+        assert len(set(seen[:15])) == 15
+        assert 0 not in seen
+        assert seen[15] == seen[0]
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            library.lfsr(1)

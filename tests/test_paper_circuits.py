@@ -1,0 +1,269 @@
+"""Functional tests of the remaining section-10/4.2 circuits:
+trees, H-tree, mux4, RAM, routing network, section-8 component."""
+
+import pytest
+
+import repro
+from repro.core.values import Logic
+from repro.lang import SimulationError
+from repro.stdlib import programs
+
+
+class TestTrees:
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    @pytest.mark.parametrize("top", ["a", "b"])
+    def test_broadcast(self, n, top):
+        circuit = repro.compile_text(programs.trees(n), top=top)
+        sim = circuit.simulator()
+        for v in (0, 1, 0):
+            sim.poke("in", v)
+            sim.step()
+            assert [str(x) for x in sim.peek("leaf")] == [str(v)] * n
+
+    def test_iterative_equals_recursive(self):
+        """The paper presents tree and rtree as equivalent definitions."""
+        for n in (4, 8):
+            ca = repro.compile_text(programs.trees(n), top="a")
+            cb = repro.compile_text(programs.trees(n), top="b")
+            na = [i for i in ca.design.instances if i.type.name == "q"]
+            nb = [i for i in cb.design.instances if i.type.name == "q"]
+            assert len(na) == len(nb) == n - 1
+
+    def test_undef_propagates_everywhere(self):
+        circuit = repro.compile_text(programs.trees(4), top="a")
+        sim = circuit.simulator()
+        sim.step()  # 'in' never poked
+        assert all(str(x) == "UNDEF" for x in sim.peek("leaf"))
+
+
+class TestHtree:
+    @pytest.mark.parametrize("n", [1, 4, 16])
+    def test_elaborates_n_leaves(self, n):
+        circuit = repro.compile_text(programs.htree(n))
+        leaves = [i for i in circuit.design.instances if i.type.name == "leaftype"]
+        assert len(leaves) == n
+
+    def test_undriven_bus_is_noinfl(self):
+        circuit = repro.compile_text(programs.htree(16))
+        sim = circuit.simulator()
+        sim.poke("in", 0)
+        sim.step()
+        assert sim.peek("out")[0] is Logic.NOINFL
+
+    def test_single_leaf_drives_bus(self):
+        circuit = repro.compile_text(programs.htree(1))
+        sim = circuit.simulator()
+        sim.poke("in", 1); sim.step()
+        assert sim.peek("out")[0] is Logic.ONE
+        sim.poke("in", 0); sim.step()
+        assert sim.peek("out")[0] is Logic.NOINFL
+
+    def test_simultaneous_drivers_burn(self):
+        """All leaves selected at once is exactly the rule violation the
+        runtime check exists for."""
+        circuit = repro.compile_text(programs.htree(4))
+        sim = circuit.simulator()
+        sim.poke("in", 1)
+        with pytest.raises(SimulationError, match="burn"):
+            sim.step()
+
+    def test_aliasing_collapses_bus(self):
+        circuit = repro.compile_text(programs.htree(16))
+        # One shared multiplex line: the out pins of all subtrees and the
+        # top 'out' are one alias class.
+        nl = circuit.netlist
+        out = nl.port("out").nets[0]
+        assert len(nl.alias_class(out)) >= 16
+
+
+class TestMux4:
+    def test_truth_table(self):
+        circuit = repro.compile_text(programs.MUX4)
+        sim = circuit.simulator()
+        d = 0b1010  # d[1]=0, d[2]=1, d[3]=0, d[4]=1
+        for sel in range(4):
+            # bit2[i] = ((0,0),(0,1),(1,0),(1,1)); a is 2 bits, a[1] is
+            # element 1.  EQUAL(a, bit2[i]) selects d[i].
+            a1, a2 = (sel >> 1) & 1, sel & 1
+            sim.poke("a", [a1, a2])
+            sim.poke("d", d)
+            sim.poke("g", 0)
+            sim.step()
+            want = (d >> sel) & 1
+            assert str(sim.peek_bit("y")) == str(want), sel
+
+    def test_g_gates_output(self):
+        circuit = repro.compile_text(programs.MUX4)
+        sim = circuit.simulator()
+        sim.poke("a", [0, 0]); sim.poke("d", 0b1111); sim.poke("g", 1)
+        sim.step()
+        assert str(sim.peek_bit("y")) == "0"  # AND(NOT g, h) masks
+
+
+class TestMemory:
+    def test_write_read_roundtrip(self):
+        circuit = repro.compile_text(programs.memory(16, 8, 4))
+        sim = circuit.simulator()
+        data = {3: 0x5A, 7: 0xFF, 0: 0x01, 15: 0x80}
+        for addr, value in data.items():
+            sim.poke("we", 1); sim.poke("addr", addr); sim.poke("data", value)
+            sim.step()
+        sim.poke("we", 0)
+        for addr, value in data.items():
+            sim.poke("addr", addr)
+            sim.step()
+            assert sim.peek_int("q") == value
+
+    def test_unwritten_word_reads_undef(self):
+        circuit = repro.compile_text(programs.memory(8, 4, 3))
+        sim = circuit.simulator()
+        sim.poke("we", 0); sim.poke("addr", 5)
+        sim.step()
+        assert sim.peek_int("q") is None
+
+    def test_write_does_not_disturb_neighbours(self):
+        circuit = repro.compile_text(programs.memory(8, 4, 3))
+        sim = circuit.simulator()
+        for addr in range(8):
+            sim.poke("we", 1); sim.poke("addr", addr); sim.poke("data", addr)
+            sim.step()
+        sim.poke("we", 0)
+        for addr in range(8):
+            sim.poke("addr", addr); sim.step()
+            assert sim.peek_int("q") == addr
+
+    def test_undefined_address_reads_undef(self):
+        circuit = repro.compile_text(programs.memory(8, 4, 3))
+        sim = circuit.simulator()
+        sim.poke("we", 1); sim.poke("addr", 1); sim.poke("data", 9); sim.step()
+        sim.poke("we", 0)
+        sim.unpoke("addr")
+        sim.step()
+        assert sim.peek_int("q") is None
+
+
+class TestRoutingNetwork:
+    def butterfly_permutation(self, n):
+        """The recursive even/odd split: input 2i -> top i, 2i+1 -> bottom."""
+        def perm(n, inputs):
+            if n == 2:
+                return inputs
+            top = perm(n // 2, [inputs[2 * i] for i in range(n // 2)])
+            bottom = perm(n // 2, [inputs[2 * i + 1] for i in range(n // 2)])
+            return top + bottom
+
+        return perm(n, list(range(n)))
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_wiring_permutation(self, n):
+        circuit = repro.compile_text(programs.routing(n))
+        sim = circuit.simulator()
+        for j in range(n):
+            sim.poke(f"input[{j}]", j + 1)
+        sim.step()
+        outs = [sim.peek_int(f"output[{j}]") for j in range(n)]
+        expected = [v + 1 for v in self.butterfly_permutation(n)]
+        assert outs == expected
+
+    def test_width_preserved(self):
+        circuit = repro.compile_text(programs.routing(4))
+        sim = circuit.simulator()
+        sim.poke("input[0]", 0x2AB)  # 10-bit payload
+        for j in range(1, 4):
+            sim.poke(f"input[{j}]", 0)
+        sim.step()
+        outs = [sim.peek_int(f"output[{j}]") for j in range(4)]
+        assert 0x2AB in outs
+
+
+class TestSection8:
+    def test_switch_semantics(self):
+        circuit = repro.compile_text(programs.SECTION8)
+        sim = circuit.simulator()
+        base = dict(a=1, b=1, c=0, rin=0)
+        # x selects AND(a,b), y selects c; both off -> NOINFL.
+        for x, y, want in [(1, 0, "1"), (0, 1, "0"), (0, 0, "NOINFL")]:
+            for k, v in base.items():
+                sim.poke(k, v)
+            sim.poke("x", x); sim.poke("y", y)
+            sim.step()
+            assert str(sim.peek("out")[0]) == want
+
+    def test_both_switches_on_burns(self):
+        circuit = repro.compile_text(programs.SECTION8)
+        sim = circuit.simulator()
+        for k, v in dict(a=1, b=1, c=0, rin=0, x=1, y=1).items():
+            sim.poke(k, v)
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_firing_order_is_topological(self):
+        circuit = repro.compile_text(programs.SECTION8)
+        sim = circuit.simulator(record_firing=True)
+        for k, v in dict(a=1, b=1, c=0, rin=1, x=1, y=0).items():
+            sim.poke(k, v)
+        sim.step()
+        order = [name for name, _ in sim.firing_log]
+        # 'out' must fire after a, b, x and y (its transitive inputs).
+        out_pos = order.index("fig.out")
+        for dep in ("fig.a", "fig.b", "fig.x", "fig.y"):
+            assert order.index(dep) < out_pos
+        # The register output fires independently of (before or without)
+        # the inputs: it is a source in the semantics graph.
+        assert "fig.r.out" in order
+
+    def test_register_path(self):
+        circuit = repro.compile_text(programs.SECTION8)
+        sim = circuit.simulator()
+        for k, v in dict(a=0, b=0, c=0, x=0, y=0).items():
+            sim.poke(k, v)
+        sim.poke("rin", 1); sim.step()
+        sim.poke("rin", 0); sim.step()
+        assert str(sim.peek_bit("rout")) == "1"
+        sim.step()
+        assert str(sim.peek_bit("rout")) == "0"
+
+
+class TestChessboard:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_parity_behaviour(self, n):
+        """black (odd i+j) passes, white inverts: a column of n cells
+        inverts tin[j] once per white cell."""
+        circuit = repro.compile_text(programs.chessboard(n))
+        sim = circuit.simulator()
+        sim.poke("tin", [1] * n)
+        sim.poke("lin", [0] * n)
+        sim.step()
+        bout = [str(b) for b in sim.peek("bout")]
+        rout = [str(b) for b in sim.peek("rout")]
+        for j in range(1, n + 1):
+            whites = sum(1 for i in range(1, n + 1) if (i + j) % 2 == 0)
+            assert bout[j - 1] == str(1 ^ (whites % 2))
+        for i in range(1, n + 1):
+            whites = sum(1 for j in range(1, n + 1) if (i + j) % 2 == 0)
+            assert rout[i - 1] == str(0 ^ (whites % 2))
+
+    def test_double_replacement_rejected(self):
+        with pytest.raises(Exception, match="more than once"):
+            repro.compile_text(
+                """
+                TYPE cell = COMPONENT (IN a: boolean; OUT y: boolean) IS
+                BEGIN y := a END;
+                t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+                SIGNAL v: virtual;
+                { v = cell; v = cell }
+                BEGIN v.a := a; y := v.y END;
+                SIGNAL u: t;
+                """
+            )
+
+    def test_virtual_used_before_replacement_rejected(self):
+        with pytest.raises(Exception, match="virtual"):
+            repro.compile_text(
+                """
+                TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+                SIGNAL v: virtual;
+                BEGIN y := v END;
+                SIGNAL u: t;
+                """
+            )

@@ -1,0 +1,369 @@
+"""Parser tests against the section-7 EBNF."""
+
+import pytest
+
+from repro.lang import ParseError, ast, parse, parse_expression
+
+
+def parse_one(text):
+    prog = parse(text)
+    assert len(prog.decls) >= 1
+    return prog.decls[0]
+
+
+class TestDeclarations:
+    def test_const_numeric(self):
+        d = parse_one("CONST length = 7;")
+        assert isinstance(d, ast.ConstDecl)
+        assert d.name == "length"
+        assert isinstance(d.value, ast.NumberLit)
+
+    def test_const_signal_tuple(self):
+        d = parse_one("CONST start = (0,0,0);")
+        assert isinstance(d.value, ast.Tuple_)
+        assert len(d.value.items) == 3
+
+    def test_const_nested_tuple(self):
+        d = parse_one("CONST a = ((0,1),(1,0),(0,0));")
+        assert isinstance(d.value, ast.Tuple_)
+        assert all(isinstance(i, ast.Tuple_) for i in d.value.items)
+
+    def test_const_parenthesised_arithmetic(self):
+        d = parse_one("CONST x = (3+4)*2;")
+        assert isinstance(d.value, ast.Binary)
+        assert d.value.op == "*"
+
+    def test_const_bin(self):
+        d = parse_one("CONST ten = BIN(10,5);")
+        assert isinstance(d.value, ast.BinCall)
+
+    def test_multiple_consts_one_keyword(self):
+        prog = parse("CONST a = 1; b = 2; c = 3;")
+        assert len(prog.decls) == 3
+
+    def test_type_simple(self):
+        d = parse_one("TYPE bus4 = ARRAY [1..4] OF boolean;")
+        assert isinstance(d, ast.TypeDecl)
+        assert isinstance(d.type, ast.ArrayType)
+
+    def test_type_parameterized(self):
+        d = parse_one("TYPE bo(n) = ARRAY [1..n] OF boolean;")
+        assert d.params == ["n"]
+
+    def test_type_two_parameters(self):
+        d = parse_one("TYPE m(a, b) = ARRAY [1..a] OF ARRAY [1..b] OF boolean;")
+        assert d.params == ["a", "b"]
+
+    def test_signal_declaration(self):
+        d = parse_one("SIGNAL x, y: boolean;")
+        assert isinstance(d, ast.SignalDecl)
+        assert d.names == ["x", "y"]
+
+    def test_signal_with_type_args(self):
+        d = parse_one("SIGNAL adder: rippleCarry(4);")
+        assert isinstance(d.type, ast.NamedType)
+        assert len(d.type.args) == 1
+
+    def test_empty_program_is_valid(self):
+        assert parse("").decls == []
+
+    def test_junk_is_rejected(self):
+        with pytest.raises(ParseError):
+            parse("BEGIN END")
+
+
+class TestComponentTypes:
+    def test_record_type(self):
+        d = parse_one("TYPE bus = COMPONENT (r,s,t: boolean; u: boolean);")
+        assert isinstance(d.type, ast.ComponentType)
+        assert d.type.body is None  # record: no body
+
+    def test_component_with_body(self):
+        d = parse_one(
+            "TYPE h = COMPONENT (IN a,b: boolean; OUT s: boolean) IS "
+            "BEGIN s := XOR(a,b) END;"
+        )
+        assert d.type.body is not None
+        assert len(d.type.body) == 1
+
+    def test_parameter_modes(self):
+        d = parse_one(
+            "TYPE h = COMPONENT (IN a: boolean; OUT b: boolean; c: multiplex);"
+        )
+        modes = [p.mode for p in d.type.params]
+        assert modes == [ast.Mode.IN, ast.Mode.OUT, ast.Mode.INOUT]
+
+    def test_function_component(self):
+        d = parse_one(
+            "TYPE f = COMPONENT (IN a: boolean) : boolean IS "
+            "BEGIN RESULT NOT a END;"
+        )
+        assert d.type.result is not None
+        assert isinstance(d.type.body[0], ast.Result)
+
+    def test_function_without_is_rejected(self):
+        with pytest.raises(ParseError):
+            parse("TYPE f = COMPONENT (IN a: boolean) : boolean;")
+
+    def test_uses_list(self):
+        d = parse_one(
+            "TYPE h = COMPONENT (IN a: boolean) IS USES x, y; BEGIN END;"
+        )
+        assert d.type.uses == ["x", "y"]
+
+    def test_empty_uses_list(self):
+        d = parse_one("TYPE h = COMPONENT (IN a: boolean) IS USES ; BEGIN END;")
+        assert d.type.uses == []
+
+    def test_no_uses_means_none(self):
+        d = parse_one("TYPE h = COMPONENT (IN a: boolean) IS BEGIN END;")
+        assert d.type.uses is None
+
+    def test_local_declarations(self):
+        d = parse_one(
+            """TYPE f = COMPONENT (IN a: boolean) IS
+               CONST k = 2;
+               TYPE t = ARRAY [1..k] OF boolean;
+               SIGNAL s: t;
+               BEGIN END;"""
+        )
+        assert len(d.type.decls) == 3
+
+    def test_layout_block(self):
+        d = parse_one(
+            """TYPE f = COMPONENT (IN a: boolean) IS
+               SIGNAL s: boolean;
+               { ORDER lefttoright s END }
+               BEGIN END;"""
+        )
+        assert len(d.type.layout) == 1
+
+    def test_header_layout_block(self):
+        d = parse_one(
+            "TYPE f = COMPONENT (IN a: boolean) { BOTTOM a } IS BEGIN END;"
+        )
+        assert len(d.type.header_layout) == 1
+
+    def test_multidim_array_desugars(self):
+        d = parse_one("TYPE m = ARRAY [1..3, 1..4] OF boolean;")
+        outer = d.type
+        assert isinstance(outer, ast.ArrayType)
+        assert isinstance(outer.element, ast.ArrayType)
+
+
+class TestStatements:
+    def stmts(self, body):
+        d = parse_one(
+            f"TYPE f = COMPONENT (IN a,b: boolean; OUT y: boolean; z: multiplex) IS "
+            f"SIGNAL s: boolean; g: multiplex; arr: ARRAY [1..4] OF boolean; "
+            f"BEGIN {body} END;"
+        )
+        return d.type.body
+
+    def test_assignment(self):
+        (s,) = self.stmts("y := a")
+        assert isinstance(s, ast.Assign)
+        assert s.op == ":="
+
+    def test_aliasing(self):
+        (s,) = self.stmts("z == g")
+        assert s.op == "=="
+
+    def test_star_assignment(self):
+        (s,) = self.stmts("y := *")
+        assert isinstance(s.value, ast.Star)
+
+    def test_star_target(self):
+        (s,) = self.stmts("* := a")
+        assert isinstance(s.target, ast.Star)
+
+    def test_star_with_width(self):
+        (s,) = self.stmts("z == * : 3")
+        assert isinstance(s.value, ast.Star)
+        assert s.value.width is not None
+
+    def test_connection(self):
+        (s,) = self.stmts("s(a, b)")
+        assert isinstance(s, ast.Connection)
+        assert len(s.actuals) == 2
+
+    def test_connection_with_star(self):
+        (s,) = self.stmts("s(a, *, b)")
+        assert isinstance(s.actuals[1], ast.Star)
+
+    def test_bare_signal_statement(self):
+        (s,) = self.stmts("s")
+        assert isinstance(s, ast.Connection)
+        assert s.actuals == []
+
+    def test_if_then(self):
+        (s,) = self.stmts("IF a THEN y := b END")
+        assert isinstance(s, ast.If)
+        assert len(s.arms) == 1
+
+    def test_if_elsif_else(self):
+        (s,) = self.stmts(
+            "IF a THEN y := b ELSIF b THEN y := a ELSE y := 0 END"
+        )
+        assert len(s.arms) == 2
+        assert len(s.else_body) == 1
+
+    def test_for_to(self):
+        (s,) = self.stmts("FOR i := 1 TO 4 DO arr[i] := a END")
+        assert isinstance(s, ast.For)
+        assert not s.downto
+        assert not s.sequentially
+
+    def test_for_downto(self):
+        (s,) = self.stmts("FOR i := 4 DOWNTO 1 DO arr[i] := a END")
+        assert s.downto
+
+    def test_for_sequentially(self):
+        (s,) = self.stmts("FOR i := 1 TO 4 DO SEQUENTIALLY arr[i] := a END")
+        assert s.sequentially
+
+    def test_when_generation(self):
+        (s,) = self.stmts(
+            "WHEN 1 = 1 THEN y := a OTHERWISEWHEN 2 > 1 THEN y := b "
+            "OTHERWISE y := 0 END"
+        )
+        assert isinstance(s, ast.WhenGen)
+        assert len(s.arms) == 2
+        assert len(s.otherwise) == 1
+
+    def test_sequential_parallel(self):
+        (s,) = self.stmts("SEQUENTIAL y := a; PARALLEL s := b END END")
+        assert isinstance(s, ast.Sequential)
+        assert isinstance(s.body[1], ast.Parallel)
+
+    def test_with_statement(self):
+        (s,) = self.stmts("WITH s DO y := a END")
+        assert isinstance(s, ast.With)
+
+    def test_empty_statements_allowed(self):
+        assert self.stmts(";; y := a ;;") is not None
+
+    def test_statement_list_semicolons(self):
+        body = self.stmts("y := a; s := b")
+        assert len(body) == 2
+
+
+class TestExpressions:
+    def test_designator_chain(self):
+        e = parse_expression("a[1].b[2..3].c")
+        assert isinstance(e, ast.Field)
+
+    def test_num_index(self):
+        e = parse_expression("ram[NUM(a)]")
+        assert isinstance(e, ast.IndexNum)
+
+    def test_index_list_sugar(self):
+        e = parse_expression("m[i, j]")
+        assert isinstance(e, ast.Index)
+        assert isinstance(e.base, ast.Index)
+
+    def test_field_range(self):
+        e = parse_expression("s.first..last")
+        assert isinstance(e, ast.FieldRange)
+
+    def test_call(self):
+        e = parse_expression("XOR(a, b)")
+        assert isinstance(e, ast.Call)
+        assert len(e.args) == 2
+
+    def test_keyword_gate_call(self):
+        e = parse_expression("AND(a, OR(b, c))")
+        assert isinstance(e, ast.Call)
+        assert e.func.ident == "AND"
+
+    def test_not_prefix(self):
+        e = parse_expression("NOT g")
+        assert isinstance(e, ast.Unary)
+
+    def test_bin_call(self):
+        e = parse_expression("BIN(10, 5)")
+        assert isinstance(e, ast.BinCall)
+
+    def test_tuple_concatenation(self):
+        e = parse_expression("(a, b, (c, d))")
+        assert isinstance(e, ast.Tuple_)
+        assert len(e.items) == 3
+
+    def test_clk_rset(self):
+        assert isinstance(parse_expression("CLK"), ast.Name)
+        assert isinstance(parse_expression("RSET"), ast.Name)
+
+    def test_const_arithmetic_in_index(self):
+        e = parse_expression("se[i DIV 2]")
+        assert isinstance(e, ast.Index)
+        assert isinstance(e.index, ast.Binary)
+
+    def test_index_expression_arith(self):
+        e = parse_expression("h[2*i+1]")
+        assert isinstance(e.index, ast.Binary)
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("(a, b")
+
+
+class TestLayoutStatements:
+    def layout(self, text):
+        d = parse_one(
+            f"TYPE f = COMPONENT (IN a: boolean) IS "
+            f"SIGNAL s: ARRAY [1..4] OF boolean; "
+            f"{{ {text} }} BEGIN END;"
+        )
+        return d.type.layout
+
+    def test_order(self):
+        (s,) = self.layout("ORDER lefttoright s END")
+        assert isinstance(s, ast.LayoutOrder)
+        assert s.direction == "lefttoright"
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(ParseError):
+            self.layout("ORDER sideways s END")
+
+    def test_orientation_change(self):
+        (s,) = self.layout("flip90 s")
+        assert isinstance(s, ast.LayoutBasic)
+        assert s.orientation == "flip90"
+
+    def test_replacement(self):
+        (s,) = self.layout("s = boolean")
+        assert s.replacement is not None
+
+    def test_boundary(self):
+        (s,) = self.layout("BOTTOM a; s")
+        assert isinstance(s, ast.LayoutBoundary)
+        assert s.side == "bottom"
+        assert len(s.body) == 2
+
+    def test_layout_for(self):
+        (s,) = self.layout("FOR i := 1 TO 4 DO s[i] END")
+        assert isinstance(s, ast.LayoutFor)
+
+    def test_layout_when(self):
+        (s,) = self.layout("WHEN 1=1 THEN s OTHERWISE s END")
+        assert isinstance(s, ast.LayoutWhen)
+
+    def test_nested_orders(self):
+        (s,) = self.layout(
+            "ORDER lefttoright ORDER toptobottom s[1]; s[2] END; "
+            "ORDER toptobottom s[3]; s[4] END; END"
+        )
+        assert len(s.body) == 2
+
+
+class TestPaperPrograms:
+    """Every bundled paper program must parse."""
+
+    @pytest.mark.parametrize("name", sorted(
+        __import__("repro.stdlib.programs", fromlist=["ALL_PROGRAMS"]).ALL_PROGRAMS
+    ))
+    def test_parses(self, name):
+        from repro.stdlib.programs import ALL_PROGRAMS
+
+        prog = parse(ALL_PROGRAMS[name])
+        assert prog.decls

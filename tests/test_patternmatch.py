@@ -1,0 +1,154 @@
+"""The Foster/Kung systolic pattern matcher (section 10, E5).
+
+Timing model (derived in EXPERIMENTS.md): pattern characters recirculate
+into cell 1 every other cycle (the end-of-pattern marker rides with the
+last character), string characters enter cell L on the opposite phase
+grid; the match result for alignment m appears on the ``result`` pin at
+cycle 2m + 3L - 1 after feeding starts.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.stdlib import programs
+
+_CACHE: dict[int, repro.Circuit] = {}
+
+
+def circuit(length: int) -> repro.Circuit:
+    if length not in _CACHE:
+        _CACHE[length] = repro.compile_text(programs.patternmatch(length))
+    return _CACHE[length]
+
+
+def run_matcher(pattern, string, wild=None):
+    L = len(pattern)
+    wild = wild or [0] * L
+    # Stream lead-in: L zero pads ahead of the string keep the garbage
+    # compares of each cell's *first* accumulation window benign (the
+    # Foster/Kung pipeline-fill discipline); real alignments shift by L.
+    padded = [0] * L + list(string)
+    sim = circuit(L).simulator()
+    for p in ("pattern", "string", "endofpattern", "wild", "resultin"):
+        sim.poke(p, 0)
+    sim.poke("RSET", 1)
+    sim.step(L + 2)  # flush the marker/wildcard pipelines
+    sim.poke("RSET", 0)
+    n_align = len(string) - L + 1
+    out = []
+    for t in range(2 * (L + max(n_align, 1)) + 3 * L + 4):
+        if t % 2 == 0:
+            j = (t // 2) % L
+            sim.poke("pattern", pattern[j])
+            sim.poke("endofpattern", 1 if j == L - 1 else 0)
+            sim.poke("wild", wild[j])
+            k = t // 2
+            sim.poke("string", padded[k] if k < len(padded) else 0)
+        else:
+            sim.poke("pattern", 0)
+            sim.poke("endofpattern", 0)
+            sim.poke("wild", 0)
+            sim.poke("string", 0)
+        sim.step()
+        out.append(str(sim.peek_bit("result")))
+    # The result for (padded) alignment m appears at cycle 2m + 3L - 1;
+    # real alignment k is padded alignment k + L.
+    return [out[2 * (m + L) + 3 * L - 1] for m in range(n_align)]
+
+
+def golden(pattern, string, wild=None):
+    L = len(pattern)
+    wild = wild or [0] * L
+    return [
+        "1"
+        if all(wild[j] or string[k + j] == pattern[j] for j in range(L))
+        else "0"
+        for k in range(len(string) - L + 1)
+    ]
+
+
+class TestMatching:
+    def test_paper_sized_example(self):
+        pattern = [1, 0, 1]
+        string = [1, 0, 1, 1, 0, 1, 0]
+        assert run_matcher(pattern, string) == golden(pattern, string)
+
+    def test_no_match_anywhere(self):
+        pattern = [1, 1, 1]
+        string = [0, 1, 0, 1, 1, 0]
+        assert run_matcher(pattern, string) == ["0"] * 4
+
+    def test_match_everywhere(self):
+        pattern = [0, 0, 0]
+        string = [0] * 7
+        assert run_matcher(pattern, string) == ["1"] * 5
+
+    def test_wildcards(self):
+        pattern = [1, 0, 0]
+        wild = [0, 1, 0]  # effectively 1?0
+        string = [1, 1, 0, 1, 0, 0, 0]
+        assert run_matcher(pattern, string, wild) == golden(pattern, string, wild)
+
+    def test_all_wild_matches_everything(self):
+        pattern = [1, 1, 1]
+        wild = [1, 1, 1]
+        string = [0, 1, 0, 0, 1]
+        assert run_matcher(pattern, string, wild) == ["1", "1", "1"]
+
+    def test_length_five(self):
+        pattern = [1, 0, 1, 1, 0]
+        string = [0, 1, 0, 1, 1, 0, 1, 0, 1, 1, 0, 0]
+        assert run_matcher(pattern, string) == golden(pattern, string)
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=3, max_size=3),
+        st.lists(st.integers(0, 1), min_size=3, max_size=10),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_random_patterns_match_golden(self, pattern, string):
+        assert run_matcher(pattern, string) == golden(pattern, string)
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=5, max_size=5),
+        st.lists(st.integers(0, 1), min_size=5, max_size=5),
+        st.lists(st.integers(0, 1), min_size=8, max_size=12),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_random_wildcards_match_golden(self, pattern, wild, string):
+        assert run_matcher(pattern, string, wild) == golden(pattern, string, wild)
+
+
+class TestStructure:
+    def test_cell_inventory(self):
+        c = circuit(3)
+        comps = [i for i in c.design.instances if i.type.name == "comparator"]
+        accs = [i for i in c.design.instances if i.type.name == "accumulator"]
+        assert len(comps) == 3 and len(accs) == 3
+
+    def test_register_count(self):
+        # 2 per comparator (p, s) + 4 per accumulator (tp, l, x, r).
+        assert circuit(3).stats()["registers"] == 3 * 6
+
+    def test_systolic_data_movement(self):
+        """The final figure of the paper: pattern moves right, string
+        moves left, one cell per cycle."""
+        sim = circuit(3).simulator()
+        for p in ("pattern", "string", "endofpattern", "wild", "resultin"):
+            sim.poke(p, 0)
+        sim.poke("RSET", 1); sim.step(5); sim.poke("RSET", 0)
+        sim.poke("pattern", 1); sim.poke("string", 1)
+        sim.step()
+        sim.poke("pattern", 0); sim.poke("string", 0)
+        p_positions, s_positions = [], []
+        for _ in range(3):
+            # The characters latched at the end of the injection cycle
+            # become visible on p.out/s.out in the *next* evaluation.
+            sim.step()
+            p_row = [str(sim.peek_bit(f"match.pe[{i}].comp.p.out")) for i in (1, 2, 3)]
+            s_row = [str(sim.peek_bit(f"match.pe[{i}].comp.s.out")) for i in (1, 2, 3)]
+            p_positions.append(p_row.index("1") + 1 if "1" in p_row else None)
+            s_positions.append(s_row.index("1") + 1 if "1" in s_row else None)
+        assert p_positions == [1, 2, 3]   # rightward
+        assert s_positions == [3, 2, 1]   # leftward

@@ -1,0 +1,76 @@
+"""Pretty-printer round-trip tests: parse -> print -> parse yields a
+structurally equal AST, and the reprinted program elaborates to the same
+netlist shape, for every bundled program."""
+
+import pytest
+
+import repro
+from repro.lang import ast, parse
+from repro.lang.printer import print_expr, print_program
+from repro.stdlib import extras, programs
+
+
+def ast_equal(a, b) -> bool:
+    """Structural AST equality ignoring spans."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, ast.Node):
+        for field in vars(a):
+            if field == "span":
+                continue
+            if not ast_equal(getattr(a, field), getattr(b, field)):
+                return False
+        return True
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(ast_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, ast.Mode):
+        return a is b
+    return a == b
+
+
+ALL = {**programs.ALL_PROGRAMS, **extras.EXTRA_PROGRAMS}
+
+
+@pytest.mark.parametrize("name", sorted(ALL))
+def test_roundtrip_ast(name):
+    original = parse(ALL[name])
+    printed = print_program(original)
+    reparsed = parse(printed)
+    assert ast_equal(original, reparsed), printed
+
+
+@pytest.mark.parametrize("name", sorted(ALL))
+def test_roundtrip_netlist_shape(name):
+    original = repro.compile_text(ALL[name])
+    printed = print_program(parse(ALL[name]))
+    reprinted = repro.compile_text(printed)
+    assert original.stats() == reprinted.stats()
+
+
+class TestExpressionPrinting:
+    @pytest.mark.parametrize("text", [
+        "a[1].b",
+        "ram[NUM(addr)]",
+        "x[2..7]",
+        "AND(a, OR(b, c))",
+        "NOT g",
+        "BIN(10, 5)",
+        "(a, b, (c, d))",
+        "*",
+        "s.first..last",
+    ])
+    def test_expression_roundtrip(self, text):
+        from repro.lang import parse_expression
+
+        e = parse_expression(text)
+        e2 = parse_expression(print_expr(e))
+        assert ast_equal(e, e2)
+
+    def test_number_literals(self):
+        assert print_expr(ast.NumberLit(42)) == "42"
+
+    def test_binary_parenthesised(self):
+        from repro.lang import Parser
+
+        e = Parser("2*i+1").parse_const_expression()
+        assert print_expr(e) == "((2 * i) + 1)"

@@ -1,0 +1,77 @@
+"""All bundled paper programs compile cleanly and have plausible sizes."""
+
+import pytest
+
+import repro
+from repro.stdlib import programs
+
+
+@pytest.mark.parametrize("name", sorted(programs.ALL_PROGRAMS))
+def test_compiles_without_errors(name):
+    circuit = repro.compile_text(programs.ALL_PROGRAMS[name])
+    assert not circuit.diagnostics.has_errors(), circuit.diagnostics.render()
+
+
+@pytest.mark.parametrize(
+    "name, min_nets, registers",
+    [
+        ("adders", 50, 0),
+        ("blackjack", 200, 14),   # 5+5 score/card, 1 ace, 3 state
+        ("trees", 30, 0),
+        ("htree", 50, 0),
+        ("mux4", 20, 0),
+        ("memory", 200, 128),     # 16 words x 8 bits
+        ("routing", 500, 0),
+        ("patternmatch", 80, 18), # 3 cells x (2 comparator + 4 accumulator)
+        ("section8", 10, 1),
+        ("chessboard", 50, 0),
+    ],
+)
+def test_sizes(name, min_nets, registers):
+    circuit = repro.compile_text(programs.ALL_PROGRAMS[name])
+    stats = circuit.stats()
+    assert stats["nets"] >= min_nets
+    assert stats["registers"] == registers
+
+
+def test_adder_top_selection():
+    c4 = repro.compile_text(programs.ADDERS, top="adder4")
+    cn = repro.compile_text(programs.ADDERS, top="adder")
+    # The explicit rippleCarry4 and rippleCarry(4) describe the same
+    # hardware (modulo the auxiliary h array of the fixed-width variant).
+    assert c4.stats()["gates"] == cn.stats()["gates"]
+
+
+def test_parameterized_programs_scale():
+    small = repro.compile_text(programs.routing(4)).stats()["nets"]
+    large = repro.compile_text(programs.routing(16)).stats()["nets"]
+    assert large > small * 2
+
+
+def test_routing_router_count():
+    # n/2 * log2(n) routers for the butterfly.
+    for n, routers in [(2, 1), (4, 4), (8, 12), (16, 32)]:
+        circuit = repro.compile_text(programs.routing(n))
+        # Each router contributes 4 ports x 10 bits = 40 pin nets; count
+        # instances via the design instead.
+        insts = [
+            i for i in circuit.design.instances
+            if i.type.name == "router"
+        ]
+        assert len(insts) == routers, (n, len(insts))
+
+
+def test_htree_leaf_count():
+    for n in (1, 4, 16):
+        circuit = repro.compile_text(programs.htree(n))
+        leaves = [
+            i for i in circuit.design.instances
+            if i.type.name == "leaftype"
+        ]
+        assert len(leaves) == n
+
+
+def test_tree_node_count():
+    circuit = repro.compile_text(programs.trees(16), top="a")
+    nodes = [i for i in circuit.design.instances if i.type.name == "q"]
+    assert len(nodes) == 15  # n-1 broadcast nodes

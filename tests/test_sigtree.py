@@ -1,0 +1,165 @@
+"""SigTree unit tests: navigation, laziness, virtual replacement."""
+
+import pytest
+
+from repro.core.netlist import Netlist
+from repro.core.sigtree import (
+    ArrayTree,
+    BitTree,
+    CompTree,
+    ConcatTree,
+    LazyTree,
+    VirtualTree,
+    force,
+)
+from repro.core.types import BOOLEAN_T, ArrayV, ComponentV, ParamV
+from repro.lang import ElaborationError, ast
+
+
+def bits(n, netlist=None, kind="boolean"):
+    nl = netlist or Netlist()
+    return [BitTree(BOOLEAN_T, nl.new_net(f"b{i}", kind)) for i in range(n)]
+
+
+class TestArrayTree:
+    def make(self, lo=1, hi=4):
+        elems = bits(hi - lo + 1)
+        return ArrayTree(ArrayV(lo, hi, BOOLEAN_T), elems), elems
+
+    def test_index_respects_bounds(self):
+        tree, elems = self.make()
+        assert tree.index(1) is elems[0]
+        assert tree.index(4) is elems[3]
+
+    def test_index_out_of_bounds(self):
+        tree, _ = self.make()
+        with pytest.raises(ElaborationError, match="out of bounds"):
+            tree.index(5)
+        with pytest.raises(ElaborationError, match="out of bounds"):
+            tree.index(0)
+
+    def test_zero_based_arrays(self):
+        elems = bits(3)
+        tree = ArrayTree(ArrayV(0, 2, BOOLEAN_T), elems)
+        assert tree.index(0) is elems[0]
+
+    def test_slice(self):
+        tree, elems = self.make()
+        sub = tree.slice(2, 3)
+        assert sub.leaves() == [e.net for e in elems[1:3]]
+
+    def test_reversed_slice_rejected(self):
+        tree, _ = self.make()
+        with pytest.raises(ElaborationError, match="empty slice"):
+            tree.slice(3, 2)
+
+    def test_leaves_in_natural_order(self):
+        tree, elems = self.make()
+        assert tree.leaves() == [e.net for e in elems]
+
+    def test_field_on_basic_rejected(self):
+        tree, _ = self.make()
+        with pytest.raises(ElaborationError):
+            tree.index(1).field("x")
+
+
+def comp_type(*names):
+    return ComponentV("rec", tuple(ParamV(n, ast.Mode.INOUT, BOOLEAN_T) for n in names))
+
+
+class TestCompTree:
+    def test_field_access(self):
+        nl = Netlist()
+        a, b = bits(2, nl)
+        tree = CompTree(comp_type("a", "b"), {"a": a, "b": b})
+        assert tree.field("a") is a
+
+    def test_unknown_field(self):
+        nl = Netlist()
+        a, b = bits(2, nl)
+        tree = CompTree(comp_type("a", "b"), {"a": a, "b": b})
+        with pytest.raises(ElaborationError, match="no pin"):
+            tree.field("zz")
+
+    def test_leaves_follow_declaration_order(self):
+        nl = Netlist()
+        a, b = bits(2, nl)
+        tree = CompTree(comp_type("b", "a"), {"a": a, "b": b})
+        assert tree.leaves() == [b.net, a.net]
+
+    def test_field_range(self):
+        nl = Netlist()
+        a, b, c = bits(3, nl)
+        tree = CompTree(comp_type("a", "b", "c"), {"a": a, "b": b, "c": c})
+        sub = tree.field_range("a", "b")
+        assert sub.leaves() == [a.net, b.net]
+
+    def test_reversed_field_range(self):
+        nl = Netlist()
+        a, b = bits(2, nl)
+        tree = CompTree(comp_type("a", "b"), {"a": a, "b": b})
+        with pytest.raises(ElaborationError, match="reversed"):
+            tree.field_range("b", "a")
+
+    def test_mapped_field_over_array(self):
+        nl = Netlist()
+        insts = []
+        for i in range(3):
+            a, b = bits(2, nl)
+            insts.append(CompTree(comp_type("a", "b"), {"a": a, "b": b}))
+        arr = ArrayTree(ArrayV(1, 3, insts[0].type), insts)
+        mapped = arr.field("b")
+        assert mapped.width == 3
+        assert mapped.leaves() == [i.fields["b"].net for i in insts]
+
+
+class TestLazyTree:
+    def test_forces_once(self):
+        calls = []
+        nl = Netlist()
+
+        def maker():
+            calls.append(1)
+            return bits(1, nl)[0]
+
+        lazy = LazyTree(BOOLEAN_T, maker)
+        assert not lazy.is_forced
+        lazy.leaves()
+        lazy.leaves()
+        assert len(calls) == 1
+        assert lazy.is_forced
+
+    def test_navigation_forces(self):
+        nl = Netlist()
+        inner = ArrayTree(ArrayV(1, 2, BOOLEAN_T), bits(2, nl))
+        lazy = LazyTree(inner.type, lambda: inner)
+        assert lazy.index(2).leaves() == [inner.elems[1].net]
+
+    def test_force_helper(self):
+        nl = Netlist()
+        bit = bits(1, nl)[0]
+        lazy = LazyTree(BOOLEAN_T, lambda: bit)
+        assert force(lazy) is bit
+        assert force(bit) is bit
+
+
+class TestVirtualTree:
+    def test_unreplaced_use_is_error(self):
+        v = VirtualTree(BOOLEAN_T, "m[1][1]")
+        with pytest.raises(ElaborationError, match="virtual"):
+            v.leaves()
+
+    def test_replaced_forwards(self):
+        nl = Netlist()
+        v = VirtualTree(BOOLEAN_T, "m")
+        v.replaced = bits(1, nl)[0]
+        assert v.leaves() == [v.replaced.net]
+
+
+class TestConcat:
+    def test_concat_width_and_order(self):
+        nl = Netlist()
+        parts = bits(3, nl)
+        cat = ConcatTree(parts)
+        assert cat.width == 3
+        assert cat.leaves() == [p.net for p in parts]

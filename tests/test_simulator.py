@@ -1,0 +1,413 @@
+"""Simulator tests: firing rules, clock cycles, REG semantics, runtime
+checks (sections 5 and 8)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core.values import Logic
+from repro.lang import SimulationError
+
+from zeus_test_utils import compile_ok, eval_expr
+
+
+class TestGateEvaluation:
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_two_input_gates(self, a, b):
+        assert eval_expr("AND(a, b)", a=a, b=b) == str(int(a and b))
+        assert eval_expr("OR(a, b)", a=a, b=b) == str(int(a or b))
+        assert eval_expr("XOR(a, b)", a=a, b=b) == str(a ^ b)
+        assert eval_expr("EQUAL(a, b)", a=a, b=b) == str(int(a == b))
+
+    def test_nand_nor(self):
+        assert eval_expr("NAND(a, b)", a=1, b=1) == "0"
+        assert eval_expr("NAND(a, b)", a=0, b=1) == "1"
+        assert eval_expr("NOR(a, b)", a=0, b=0) == "1"
+        assert eval_expr("NOR(a, b)", a=1, b=0) == "0"
+
+    def test_not(self):
+        assert eval_expr("NOT a", a=0, b=0) == "1"
+        assert eval_expr("NOT a", a=1, b=0) == "0"
+
+    def test_nary_gates(self):
+        assert eval_expr("AND(a, b, c)", a=1, b=1, c=1) == "1"
+        assert eval_expr("AND(a, b, c)", a=1, b=1, c=0) == "0"
+        assert eval_expr("OR(a, b, c)", a=0, b=0, c=0) == "0"
+
+    def test_nested(self):
+        assert eval_expr("OR(AND(a, b), NOT c)", a=1, b=0, c=1) == "0"
+
+    def test_undef_propagation(self):
+        # Unpoked input is UNDEF; AND(0, UNDEF) short-circuits to 0.
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN a, b: boolean; OUT y0, y1: boolean) IS
+            BEGIN
+                y0 := AND(a, b);
+                y1 := OR(a, b)
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("a", 0)  # b left UNDEF
+        sim.step()
+        assert str(sim.peek_bit("y0")) == "0"   # 0 dominates AND
+        assert str(sim.peek_bit("y1")) == "UNDEF"
+
+    def test_vector_equal_is_single_bit(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN a, b: ARRAY [1..3] OF boolean;
+                                OUT y: boolean) IS
+            BEGIN y := EQUAL(a, b) END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("a", 5); sim.poke("b", 5); sim.step()
+        assert str(sim.peek_bit("y")) == "1"
+        sim.poke("b", 4); sim.step()
+        assert str(sim.peek_bit("y")) == "0"
+
+    def test_bitwise_ops_vectorize(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN a, b: ARRAY [1..4] OF boolean;
+                                OUT y: ARRAY [1..4] OF boolean) IS
+            BEGIN y := AND(a, b) END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("a", 0b1100); sim.poke("b", 0b1010); sim.step()
+        assert sim.peek_int("y") == 0b1000
+
+    def test_random_is_deterministic_per_seed(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            BEGIN y := AND(a, RANDOM()) END;
+            SIGNAL u: t;
+            """
+        )
+        runs = []
+        for _ in range(2):
+            sim = circuit.simulator(seed=42)
+            sim.poke("a", 1)
+            bits = []
+            for _ in range(16):
+                sim.step()
+                bits.append(str(sim.peek_bit("y")))
+            runs.append(bits)
+        assert runs[0] == runs[1]
+        assert "0" in runs[0] and "1" in runs[0]
+
+
+class TestRegisters:
+    def test_out_is_previous_in(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN d: boolean; OUT q: boolean) IS
+            SIGNAL r: REG;
+            BEGIN r(d, q) END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("d", 1); sim.step()
+        assert str(sim.peek_bit("q")) == "UNDEF"  # initial contents
+        sim.poke("d", 0); sim.step()
+        assert str(sim.peek_bit("q")) == "1"
+        sim.step()
+        assert str(sim.peek_bit("q")) == "0"
+
+    def test_unwritten_register_keeps_value(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN d, en: boolean; OUT q: boolean) IS
+            SIGNAL r: REG;
+            BEGIN
+                IF en THEN r.in := d END;
+                q := r.out
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("d", 1); sim.poke("en", 1); sim.step()
+        sim.poke("en", 0); sim.poke("d", 0)
+        for _ in range(3):
+            sim.step()
+            assert str(sim.peek_bit("q")) == "1"  # kept
+        sim.poke("en", 1); sim.step(); sim.step()
+        assert str(sim.peek_bit("q")) == "0"
+
+    def test_register_chain_delays(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN d: boolean; OUT q: boolean) IS
+            SIGNAL r1, r2, r3: REG;
+            BEGIN
+                r1(d, r2.in);
+                r2(*, r3.in);
+                r3(*, q)
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        pattern = [1, 0, 1, 1, 0, 0, 1]
+        seen = []
+        for bit in pattern + [0, 0, 0]:
+            sim.poke("d", bit)
+            sim.step()
+            seen.append(str(sim.peek_bit("q")))
+        assert seen[3:3 + len(pattern)] == [str(b) for b in pattern]
+
+    def test_reset_state_clears_registers(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN d: boolean; OUT q: boolean) IS
+            SIGNAL r: REG;
+            BEGIN r(d, q) END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("d", 1); sim.step(); sim.step()
+        assert str(sim.peek_bit("q")) == "1"
+        sim.reset_state()
+        sim.step()
+        assert str(sim.peek_bit("q")) == "UNDEF"
+
+    def test_registers_listing(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN d: boolean; OUT q: boolean) IS
+            SIGNAL r: REG;
+            BEGIN r(d, q) END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("d", 1); sim.step()
+        assert sim.registers() == {"u.r": Logic.ONE}
+
+
+class TestConditionalSemantics:
+    def test_if_guard_false_gives_noinfl(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN c, a: boolean; OUT y: boolean; z: multiplex) IS
+            BEGIN
+                IF c THEN z := a END;
+                y := c
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("c", 0); sim.poke("a", 1); sim.step()
+        assert sim.peek("z")[0] is Logic.NOINFL
+        sim.poke("c", 1); sim.step()
+        assert sim.peek("z")[0] is Logic.ONE
+
+    def test_undef_guard_gives_undef(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN c, a: boolean; OUT y: boolean; z: multiplex) IS
+            BEGIN
+                IF c THEN z := a END;
+                y := c
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("a", 1)  # c stays UNDEF
+        sim.step()
+        assert sim.peek("z")[0] is Logic.UNDEF
+
+    def test_elsif_chain_exclusive(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN s1, s2: boolean; OUT y: boolean) IS
+            BEGIN
+                IF s1 THEN y := 1
+                ELSIF s2 THEN y := 0
+                ELSE y := s2
+                END
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        for s1, s2, want in [(1, 0, "1"), (1, 1, "1"), (0, 1, "0"), (0, 0, "0")]:
+            sim.poke("s1", s1); sim.poke("s2", s2); sim.step()
+            assert str(sim.peek_bit("y")) == want
+
+    def test_multi_driver_strict_raises(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN c1, c2: boolean; OUT y: boolean; z: multiplex) IS
+            BEGIN
+                IF c1 THEN z := 1 END;
+                IF c2 THEN z := 0 END;
+                y := c1
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("c1", 1); sim.poke("c2", 1)
+        with pytest.raises(SimulationError, match="burn"):
+            sim.step()
+
+    def test_multi_driver_lenient_records(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN c1, c2: boolean; OUT y: boolean; z: multiplex) IS
+            BEGIN
+                IF c1 THEN z := 1 END;
+                IF c2 THEN z := 0 END;
+                y := c1
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator(strict=False)
+        sim.poke("c1", 1); sim.poke("c2", 1)
+        sim.step()
+        assert len(sim.violations) == 1
+        assert "z" in sim.violations[0].net
+
+    def test_exclusive_drivers_no_violation(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN c: boolean; OUT y: boolean; z: multiplex) IS
+            BEGIN
+                IF c THEN z := 1 END;
+                IF NOT c THEN z := 0 END;
+                y := c
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        for c in (0, 1):
+            sim.poke("c", c); sim.step()
+            assert str(sim.peek("z")[0]) == str(c)
+        assert not sim.violations
+
+
+class TestPokePeek:
+    def test_poke_int_multibit(self, halfadder_circuit):
+        sim = halfadder_circuit.simulator()
+        sim.poke("a", 1); sim.poke("b", "1")
+        sim.step()
+        assert str(sim.peek_bit("cout")) == "1"
+
+    def test_poke_bad_width(self, halfadder_circuit):
+        sim = halfadder_circuit.simulator()
+        with pytest.raises(ValueError):
+            sim.poke("a", [1, 0])
+
+    def test_poke_bad_bit(self, halfadder_circuit):
+        sim = halfadder_circuit.simulator()
+        with pytest.raises(ValueError):
+            sim.poke("a", 2)
+
+    def test_unknown_path(self, halfadder_circuit):
+        sim = halfadder_circuit.simulator()
+        with pytest.raises(KeyError):
+            sim.peek("nonexistent")
+
+    def test_unpoke_releases(self, halfadder_circuit):
+        sim = halfadder_circuit.simulator()
+        sim.poke("a", 1); sim.poke("b", 1); sim.step()
+        sim.unpoke("b")
+        sim.step()
+        assert str(sim.peek_bit("cout")) == "UNDEF"
+
+    def test_qualified_and_relative_paths(self, halfadder_circuit):
+        sim = halfadder_circuit.simulator()
+        sim.poke("h.a", 1); sim.poke("b", 1)
+        sim.step()
+        assert str(sim.peek_bit("h.cout")) == "1"
+
+    def test_peek_internal_signal(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            SIGNAL s: boolean;
+            BEGIN s := NOT a; y := NOT s END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator()
+        sim.poke("a", 1)
+        sim.step()
+        assert str(sim.peek_bit("u.s")) == "0"
+
+
+class TestStatementOrderIrrelevance:
+    """Section 4: 'the relative order of statements does not influence the
+    semantics of a Zeus program'."""
+
+    @given(st.integers(0, 1), st.integers(0, 1), st.integers(0, 1))
+    @settings(max_examples=8, deadline=None)
+    def test_permuted_bodies_agree(self, a, b, c):
+        stmts = [
+            "s1 := AND(a, b)",
+            "s2 := OR(s1, c)",
+            "y := XOR(s2, a)",
+        ]
+        import itertools
+
+        results = set()
+        for perm in itertools.permutations(stmts):
+            circuit = compile_ok(
+                """
+                TYPE t = COMPONENT (IN a, b, c: boolean; OUT y: boolean) IS
+                SIGNAL s1, s2: boolean;
+                BEGIN
+                    %s
+                END;
+                SIGNAL u: t;
+                """
+                % ";\n".join(perm)
+            )
+            sim = circuit.simulator()
+            sim.poke("a", a); sim.poke("b", b); sim.poke("c", c)
+            sim.step()
+            results.add(str(sim.peek_bit("y")))
+        assert len(results) == 1
+
+
+class TestAdderProperties:
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 1))
+    @settings(max_examples=40, deadline=None)
+    def test_ripple_adder_adds(self, a, b, cin):
+        from repro.stdlib import programs
+
+        circuit = _cached_adder()
+        sim = circuit.simulator()
+        sim.poke("a", a); sim.poke("b", b); sim.poke("cin", cin)
+        sim.step()
+        assert sim.peek_int("s") + 256 * int(sim.peek_bit("cout")) == a + b + cin
+
+
+_ADDER_CACHE = []
+
+
+def _cached_adder():
+    if not _ADDER_CACHE:
+        from repro.stdlib import programs
+
+        _ADDER_CACHE.append(
+            compile_ok(programs.ripple_carry(8), top="adder")
+        )
+    return _ADDER_CACHE[0]

@@ -1,0 +1,148 @@
+"""Unit tests for source handling, diagnostics and the netlist IR."""
+
+import pytest
+
+from repro.core.netlist import Netlist
+from repro.core.values import Logic
+from repro.lang.errors import (
+    CheckError,
+    Diagnostic,
+    DiagnosticSink,
+    Severity,
+)
+from repro.lang.source import NO_SPAN, SourceText, Span
+
+
+class TestSourceText:
+    TEXT = "first line\nsecond line\nthird"
+
+    def test_position_mapping(self):
+        src = SourceText(self.TEXT)
+        assert str(src.position(0)) == "1:1"
+        assert str(src.position(11)) == "2:1"
+        assert str(src.position(18)) == "2:8"
+
+    def test_position_clamps(self):
+        src = SourceText(self.TEXT)
+        assert src.position(9999).line == 3
+
+    def test_line_text(self):
+        src = SourceText(self.TEXT)
+        assert src.line_text(2) == "second line"
+        assert src.line_text(99) == ""
+
+    def test_snippet(self):
+        src = SourceText(self.TEXT)
+        assert src.snippet(Span(0, 5)) == "first"
+
+    def test_caret_diagram(self):
+        src = SourceText(self.TEXT)
+        diagram = src.caret_diagram(Span(11, 17))
+        assert diagram.splitlines() == ["second line", "^^^^^^"]
+
+    def test_span_merge(self):
+        assert Span(5, 8).merge(Span(2, 6)) == Span(2, 8)
+
+    def test_empty_source(self):
+        src = SourceText("")
+        assert src.position(0).line == 1
+
+
+class TestDiagnostics:
+    def test_render_with_source(self):
+        src = SourceText("x := y", "f.zeus")
+        d = Diagnostic(Severity.ERROR, "boom", Span(0, 1), "check")
+        text = d.render(src)
+        assert "f.zeus:1:1" in text
+        assert "boom" in text
+        assert "^" in text
+
+    def test_render_without_source(self):
+        d = Diagnostic(Severity.WARNING, "careful")
+        assert d.render() == "warning: careful"
+
+    def test_strict_sink_raises(self):
+        sink = DiagnosticSink(strict=True)
+        with pytest.raises(CheckError):
+            sink.error("bad")
+
+    def test_permissive_sink_collects(self):
+        sink = DiagnosticSink()
+        sink.error("one")
+        sink.warning("two")
+        sink.error("three")
+        assert len(sink.errors) == 2
+        assert len(sink.warnings) == 1
+        assert sink.has_errors()
+
+
+class TestNetlist:
+    def test_net_creation(self):
+        nl = Netlist("t")
+        a = nl.new_net("a", "boolean", is_input=True)
+        assert a.id == 0
+        assert nl.input_nets == [a]
+
+    def test_gate_creates_output(self):
+        nl = Netlist()
+        a = nl.new_net("a", "boolean")
+        out = nl.add_gate("AND", [a, a])
+        assert out.role == "gate"
+        assert nl.gates[0].output is out
+
+    def test_alias_union_find(self):
+        nl = Netlist()
+        a, b, c = (nl.new_net(n, "multiplex") for n in "abc")
+        nl.alias(a, b)
+        nl.alias(b, c)
+        assert nl.find(c) is nl.find(a)
+        assert set(n.name for n in nl.alias_class(b)) == {"a", "b", "c"}
+
+    def test_alias_is_idempotent(self):
+        nl = Netlist()
+        a, b = nl.new_net("a", "multiplex"), nl.new_net("b", "multiplex")
+        nl.alias(a, b)
+        nl.alias(a, b)
+        nl.alias(b, a)
+        assert len(nl.alias_class(a)) == 2
+
+    def test_unique_conns_dedupes(self):
+        nl = Netlist()
+        a, b = nl.new_net("a", "boolean"), nl.new_net("b", "boolean")
+        nl.add_conn(a, b)
+        nl.add_conn(a, b)
+        assert len(nl.conns) == 2
+        assert len(nl.unique_conns()) == 1
+
+    def test_unique_conns_respects_aliasing(self):
+        nl = Netlist()
+        a = nl.new_net("a", "multiplex")
+        b = nl.new_net("b", "multiplex")
+        dst = nl.new_net("d", "multiplex")
+        nl.add_conn(a, dst)
+        nl.add_conn(b, dst)
+        assert len(nl.unique_conns()) == 2
+        nl.alias(a, b)  # now the two edges are the same edge
+        assert len(nl.unique_conns()) == 1
+
+    def test_unique_const_conns(self):
+        nl = Netlist()
+        d = nl.new_net("d", "boolean")
+        nl.add_const(Logic.ONE, d)
+        nl.add_const(Logic.ONE, d)
+        nl.add_const(Logic.ZERO, d)
+        assert len(nl.unique_const_conns()) == 2
+
+    def test_register_signal_and_stats(self):
+        nl = Netlist()
+        a = nl.new_net("x.a", "boolean")
+        nl.register_signal("x.a", [a])
+        assert nl.signals["x.a"] == [a]
+        assert nl.stats()["nets"] == 1
+
+    def test_reg_ids(self):
+        nl = Netlist()
+        d, q = nl.new_net("d", "boolean"), nl.new_net("q", "boolean")
+        reg = nl.add_reg(d, q, "r")
+        assert reg.id == 0
+        assert nl.stats()["registers"] == 1

@@ -1,0 +1,101 @@
+"""The systolic sorter and FIR extension circuits ("Both Hades and Zeus
+are suitable for describing systolic algorithms", section 1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.stdlib import extras
+
+_CACHE = {}
+
+
+def circuit(name, builder=None, *args):
+    key = (name, args)
+    if key not in _CACHE:
+        text = builder(*args) if builder else extras.EXTRA_PROGRAMS[name]
+        _CACHE[key] = repro.compile_text(text)
+    return _CACHE[key]
+
+
+class TestSorter:
+    def run(self, values, n=4, w=4):
+        sim = circuit("sorter", extras.sorter, n, w).simulator()
+        for i, v in enumerate(values):
+            sim.poke(f"din[{i + 1}]", v)
+        sim.step()
+        return [sim.peek_int(f"dout[{i + 1}]") for i in range(n)]
+
+    @given(st.lists(st.integers(0, 15), min_size=4, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_sorts(self, values):
+        assert self.run(values) == sorted(values)
+
+    def test_duplicates(self):
+        assert self.run([7, 7, 7, 7]) == [7, 7, 7, 7]
+
+    def test_reverse_worst_case(self):
+        assert self.run([15, 12, 5, 0]) == [0, 5, 12, 15]
+
+    def test_larger_network(self):
+        values = [random.Random(2).randrange(16) for _ in range(6)]
+        sim = circuit("sorter6", extras.sorter, 6, 4).simulator()
+        for i, v in enumerate(values):
+            sim.poke(f"din[{i + 1}]", v)
+        sim.step()
+        got = [sim.peek_int(f"dout[{i + 1}]") for i in range(6)]
+        assert got == sorted(values)
+
+    def test_network_is_combinational(self):
+        assert circuit("sorter", extras.sorter, 4, 4).stats()["registers"] == 0
+
+
+class TestFir:
+    def run(self, coef, xs, w=8):
+        taps = len(coef)
+        sim = circuit("fir", extras.fir, taps, w).simulator()
+        sim.poke("RSET", 1); sim.poke("x", 0); sim.poke("coef", coef)
+        sim.step()
+        sim.poke("RSET", 0)
+        outs = []
+        for x in xs:
+            sim.poke("x", x)
+            sim.step()
+            outs.append(sim.peek_int("y"))
+        return outs
+
+    def golden(self, coef, xs, w=8):
+        out = []
+        for t in range(len(xs)):
+            total = 0
+            for j in range(1, len(coef) + 1):
+                if t - j >= 0:
+                    total += coef[j - 1] * xs[t - j]
+            out.append(total % (1 << w))
+        return out
+
+    def test_impulse_response(self):
+        coef = [1, 0, 1, 1]
+        xs = [1] + [0] * 7
+        # The impulse appears at delays 1..taps where coef is 1.
+        assert self.run(coef, xs) == [0, 1, 0, 1, 1, 0, 0, 0]
+
+    def test_step_response(self):
+        coef = [1, 1, 1, 1]
+        xs = [1] * 8
+        assert self.run(coef, xs) == [0, 1, 2, 3, 4, 4, 4, 4]
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=4, max_size=4),
+        st.lists(st.integers(0, 9), min_size=6, max_size=10),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_random_streams_match_golden(self, coef, xs):
+        assert self.run(coef, xs) == self.golden(coef, xs)
+
+    def test_register_inventory(self):
+        # taps x width partial-sum registers.
+        assert circuit("fir", extras.fir, 4, 8).stats()["registers"] == 32

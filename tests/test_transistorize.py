@@ -1,0 +1,172 @@
+"""Automatic Zeus -> transistor translation and cross-level
+co-simulation (the strengthened E10 bridge)."""
+
+import random
+
+import pytest
+
+import repro
+from repro.baselines import (
+    SState,
+    TransistorizeError,
+    TransistorizedSimulator,
+    transistorize,
+)
+from repro.stdlib import programs
+
+from zeus_test_utils import compile_ok
+
+
+def norm(value: str) -> str:
+    """Map both unknown spellings (Zeus UNDEF/NOINFL, switch X) to '?'."""
+    return value if value in ("0", "1") else "?"
+
+
+def cosim(circuit, pokes_list, outs, cycles=1):
+    """Run the same stimulus on both levels; return list of rows
+    (zeus values, transistor values)."""
+    zsim = circuit.simulator()
+    tsim = TransistorizedSimulator(circuit.design)
+    rows = []
+    for pokes in pokes_list:
+        for sim in (zsim, tsim):
+            for name, value in pokes.items():
+                sim.poke(name, value)
+            sim.step(cycles)
+        z = {o: [norm(str(v)) for v in zsim.peek(o)] for o in outs}
+        t = {o: [norm(str(v)) for v in tsim.peek(o)] for o in outs}
+        rows.append((z, t))
+    return rows
+
+
+class TestCombinational:
+    def test_adder_agrees(self):
+        circuit = compile_ok(programs.ripple_carry(4), top="adder")
+        rng = random.Random(3)
+        pokes = [
+            {"a": rng.randrange(16), "b": rng.randrange(16), "cin": rng.randrange(2)}
+            for _ in range(12)
+        ]
+        for z, t in cosim(circuit, pokes, ["s", "cout"]):
+            assert z == t
+
+    def test_mux4_agrees(self):
+        circuit = compile_ok(programs.MUX4)
+        pokes = [
+            {"d": d, "a": [(sel >> 1) & 1, sel & 1], "g": g}
+            for d in (0b1010, 0b0111)
+            for sel in range(4)
+            for g in (0, 1)
+        ]
+        for z, t in cosim(circuit, pokes, ["y"]):
+            assert z == t
+
+    def test_gate_zoo_agrees(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN a, b, c: boolean;
+                                OUT y1, y2, y3, y4, y5: boolean) IS
+            BEGIN
+                y1 := AND(a, b, c);
+                y2 := NOR(a, b);
+                y3 := XOR(a, XOR(b, c));
+                y4 := NAND(a, b, c);
+                y5 := EQUAL(a, b)
+            END;
+            SIGNAL u: t;
+            """
+        )
+        pokes = [
+            {"a": (v >> 0) & 1, "b": (v >> 1) & 1, "c": (v >> 2) & 1}
+            for v in range(8)
+        ]
+        for z, t in cosim(circuit, pokes, ["y1", "y2", "y3", "y4", "y5"]):
+            assert z == t
+
+
+class TestSequential:
+    def test_toggle_register_agrees(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN en: boolean; OUT q: boolean) IS
+            SIGNAL r: REG;
+            BEGIN
+                IF RSET THEN r.in := 0
+                ELSE
+                    IF en THEN r.in := NOT r.out END;
+                END;
+                q := r.out
+            END;
+            SIGNAL u: t;
+            """
+        )
+        zsim = circuit.simulator()
+        tsim = TransistorizedSimulator(circuit.design)
+        for sim in (zsim, tsim):
+            sim.poke("RSET", 1)
+            sim.poke("en", 0)
+            sim.step()
+            sim.poke("RSET", 0)
+        for en in (1, 1, 0, 1, 0, 0, 1):
+            for sim in (zsim, tsim):
+                sim.poke("en", en)
+                sim.step()
+            assert norm(str(zsim.peek_bit("q"))) == norm(str(tsim.peek("q")[0]))
+
+    def test_charge_retention_matches_keep_rule(self):
+        """A disabled guarded register write: the Zeus 'keeps its value'
+        rule equals transistor-level charge retention on the floating
+        data node."""
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN d, en: boolean; OUT q: boolean) IS
+            SIGNAL r: REG;
+            BEGIN
+                IF en THEN r.in := d END;
+                q := r.out
+            END;
+            SIGNAL u: t;
+            """
+        )
+        zsim = circuit.simulator()
+        tsim = TransistorizedSimulator(circuit.design)
+        script = [(1, 1), (0, 0), (0, 0), (1, 0), (0, 1), (1, 0)]
+        for d, en in script:
+            for sim in (zsim, tsim):
+                sim.poke("d", d)
+                sim.poke("en", en)
+                sim.step()
+            assert norm(str(zsim.peek_bit("q"))) == norm(str(tsim.peek("q")[0]))
+
+
+class TestTranslation:
+    def test_transistor_counts_recorded(self):
+        circuit = compile_ok(programs.ripple_carry(4), top="adder")
+        t = transistorize(circuit.design)
+        assert t.stats["transistors"] > 100
+        assert t.stats["gates"] == circuit.stats()["gates"]
+
+    def test_random_is_rejected(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            BEGIN y := AND(a, RANDOM()) END;
+            SIGNAL u: t;
+            """
+        )
+        with pytest.raises(TransistorizeError):
+            transistorize(circuit.design)
+
+    def test_aliased_nets_share_nodes(self):
+        circuit = compile_ok(programs.htree(4))
+        t = transistorize(circuit.design)
+        nl = circuit.netlist
+        out_nets = nl.port("out").nets
+        canon = nl.find(out_nets[0]).id
+        # All members of the htree bus alias class map to one node.
+        nodes = {
+            t.node_of[nl.find(n).id]
+            for n in nl.nets
+            if nl.find(n).id == canon
+        }
+        assert len(nodes) == 1

@@ -1,0 +1,111 @@
+"""Type system unit tests: widths, leaves, mode inheritance."""
+
+import pytest
+
+from repro.core.types import (
+    BOOLEAN_T,
+    MULTIPLEX_T,
+    ArrayV,
+    BasicV,
+    ComponentV,
+    ParamV,
+    leaf_kinds,
+    same_shape,
+)
+from repro.lang import TypeError_, ast
+
+IN, OUT, INOUT = ast.Mode.IN, ast.Mode.OUT, ast.Mode.INOUT
+
+
+class TestWidths:
+    def test_basic(self):
+        assert BOOLEAN_T.width == 1
+        assert MULTIPLEX_T.width == 1
+
+    def test_array(self):
+        assert ArrayV(1, 8, BOOLEAN_T).width == 8
+
+    def test_nested_array(self):
+        assert ArrayV(1, 3, ArrayV(0, 3, BOOLEAN_T)).width == 12
+
+    def test_empty_array_allowed(self):
+        assert ArrayV(1, 0, BOOLEAN_T).width == 0
+
+    def test_decreasing_bounds_rejected(self):
+        with pytest.raises(TypeError_):
+            ArrayV(5, 1, BOOLEAN_T)
+
+    def test_component_width_is_interface(self):
+        comp = ComponentV(
+            "c",
+            (
+                ParamV("a", IN, ArrayV(1, 4, BOOLEAN_T)),
+                ParamV("y", OUT, BOOLEAN_T),
+            ),
+        )
+        assert comp.width == 5
+
+    def test_same_shape(self):
+        assert same_shape(ArrayV(1, 4, BOOLEAN_T), ArrayV(0, 3, MULTIPLEX_T))
+        assert not same_shape(BOOLEAN_T, ArrayV(1, 2, BOOLEAN_T))
+
+
+class TestLeaves:
+    def test_natural_order(self):
+        t = ArrayV(1, 2, ArrayV(1, 2, BOOLEAN_T))
+        paths = [l.path for l in t.leaves("m")]
+        assert paths == ["m[1][1]", "m[1][2]", "m[2][1]", "m[2][2]"]
+
+    def test_component_paths(self):
+        comp = ComponentV(
+            "c",
+            (
+                ParamV("a", IN, BOOLEAN_T),
+                ParamV("b", OUT, ArrayV(1, 2, BOOLEAN_T)),
+            ),
+        )
+        leaves = list(comp.leaves("x"))
+        assert [l.path for l in leaves] == ["x.a", "x.b[1]", "x.b[2]"]
+        assert [l.mode for l in leaves] == [IN, OUT, OUT]
+
+    def test_mode_inheritance_inner_wins(self):
+        inner = ComponentV(
+            "rec",
+            (ParamV("p", IN, BOOLEAN_T), ParamV("q", INOUT, MULTIPLEX_T)),
+        )
+        outer = ComponentV("c", (ParamV("g", OUT, inner),))
+        modes = {l.path: l.mode for l in outer.leaves()}
+        # Explicit inner IN wins; inner INOUT inherits the outer OUT.
+        assert modes["g.p"] is IN
+        assert modes["g.q"] is OUT
+
+    def test_leaf_kinds(self):
+        t = ArrayV(1, 2, MULTIPLEX_T)
+        assert leaf_kinds(t) == ["multiplex", "multiplex"]
+
+
+class TestComponentQueries:
+    def comp(self):
+        return ComponentV(
+            "c",
+            (ParamV("a", IN, BOOLEAN_T), ParamV("y", OUT, BOOLEAN_T)),
+            type_args=(4,),
+        )
+
+    def test_param_lookup(self):
+        c = self.comp()
+        assert c.param("a").mode is IN
+        assert c.param_index("y") == 1
+
+    def test_unknown_param(self):
+        with pytest.raises(TypeError_):
+            self.comp().param("zz")
+
+    def test_describe_includes_args(self):
+        assert self.comp().describe() == "c(4)"
+
+    def test_record_vs_body_vs_function(self):
+        record = ComponentV("r", ())
+        assert record.is_record and not record.has_body
+        fn = ComponentV("f", (), result=BOOLEAN_T)
+        assert fn.is_function and not fn.is_record

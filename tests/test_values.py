@@ -1,0 +1,184 @@
+"""Four-valued logic domain tests (sections 3.3 and 8), including
+property-based tests of the gate and resolution rules."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.values import (
+    GATE_FUNCTIONS,
+    Logic,
+    MultipleDriverError,
+    and_gate,
+    bits_of,
+    equal_gate,
+    nand_gate,
+    nor_gate,
+    not_gate,
+    num_of,
+    or_gate,
+    resolve,
+    xor_gate,
+)
+
+L = Logic
+logic_values = st.sampled_from(list(Logic))
+defined = st.sampled_from([L.ZERO, L.ONE])
+maybe_unknown = st.sampled_from([L.ZERO, L.ONE, L.UNDEF, None])
+
+
+class TestBasics:
+    def test_names_roundtrip(self):
+        for v in Logic:
+            assert Logic.from_name(str(v)) is v
+
+    def test_from_bit(self):
+        assert Logic.from_bit(0) is L.ZERO
+        assert Logic.from_bit(1) is L.ONE
+        with pytest.raises(ValueError):
+            Logic.from_bit(2)
+
+    def test_is_defined(self):
+        assert L.ZERO.is_defined and L.ONE.is_defined
+        assert not L.UNDEF.is_defined and not L.NOINFL.is_defined
+
+    def test_to_boolean_converts_noinfl(self):
+        assert L.NOINFL.to_boolean() is L.UNDEF
+        for v in (L.ZERO, L.ONE, L.UNDEF):
+            assert v.to_boolean() is v
+
+
+class TestResolution:
+    def test_all_noinfl(self):
+        assert resolve([L.NOINFL, L.NOINFL]) is L.NOINFL
+
+    def test_empty(self):
+        assert resolve([]) is L.NOINFL
+
+    def test_single_driver_wins(self):
+        assert resolve([L.NOINFL, L.ONE, L.NOINFL]) is L.ONE
+        assert resolve([L.ZERO]) is L.ZERO
+        assert resolve([L.UNDEF, L.NOINFL]) is L.UNDEF
+
+    def test_conflict_strict_raises(self):
+        with pytest.raises(MultipleDriverError):
+            resolve([L.ZERO, L.ONE])
+
+    def test_conflict_lenient_undef(self):
+        assert resolve([L.ZERO, L.ONE], strict=False) is L.UNDEF
+
+    def test_double_undef_is_conflict(self):
+        # "If x is assigned several times 0, 1 or UNDEF ..." -- UNDEF counts.
+        with pytest.raises(MultipleDriverError):
+            resolve([L.UNDEF, L.UNDEF])
+
+    @given(st.lists(logic_values, max_size=6))
+    def test_lenient_never_raises(self, values):
+        out = resolve(values, strict=False)
+        assert out in list(Logic)
+
+    @given(st.lists(st.just(L.NOINFL), max_size=6))
+    def test_noinfl_identity(self, values):
+        assert resolve(values) is L.NOINFL
+
+
+class TestGateRules:
+    def test_and_short_circuit(self):
+        # "the AND node fires 0 as soon as one entering edge is 0"
+        assert and_gate([L.ZERO, None]) is L.ZERO
+        assert and_gate([None, L.ZERO]) is L.ZERO
+
+    def test_and_waits_for_one(self):
+        assert and_gate([L.ONE, None]) is None
+
+    def test_and_truth(self):
+        assert and_gate([L.ONE, L.ONE]) is L.ONE
+        assert and_gate([L.ONE, L.UNDEF]) is L.UNDEF
+
+    def test_or_short_circuit(self):
+        assert or_gate([None, L.ONE]) is L.ONE
+        assert or_gate([L.ZERO, None]) is None
+        assert or_gate([L.ZERO, L.ZERO]) is L.ZERO
+
+    def test_nand_nor(self):
+        assert nand_gate([L.ZERO, None]) is L.ONE
+        assert nand_gate([L.ONE, L.ONE]) is L.ZERO
+        assert nor_gate([None, L.ONE]) is L.ZERO
+        assert nor_gate([L.ZERO, L.ZERO]) is L.ONE
+
+    def test_xor_no_short_circuit(self):
+        # Section 8: XOR needs all inputs defined.
+        assert xor_gate([L.ONE, None]) is None
+        assert xor_gate([L.ONE, L.ZERO]) is L.ONE
+        assert xor_gate([L.ONE, L.ONE]) is L.ZERO
+        assert xor_gate([L.UNDEF, L.ONE]) is L.UNDEF
+
+    def test_equal(self):
+        assert equal_gate([L.ONE, L.ONE]) is L.ONE
+        assert equal_gate([L.ONE, L.ZERO]) is L.ZERO
+        assert equal_gate([L.UNDEF, L.ONE]) is L.UNDEF
+        assert equal_gate([None, L.ONE]) is None
+
+    def test_not(self):
+        assert not_gate(L.ZERO) is L.ONE
+        assert not_gate(L.ONE) is L.ZERO
+        assert not_gate(L.UNDEF) is L.UNDEF
+        assert not_gate(None) is None
+
+    @given(st.lists(maybe_unknown, min_size=1, max_size=5))
+    def test_partial_results_are_stable(self, inputs):
+        """Monotonicity: once a gate fires on partial inputs, completing
+        the unknown inputs with any defined values keeps the result."""
+        for op in ("AND", "OR", "NAND", "NOR"):
+            fn = GATE_FUNCTIONS[op]
+            early = fn(inputs)
+            if early is None:
+                continue
+            for fill in (L.ZERO, L.ONE, L.UNDEF):
+                completed = [v if v is not None else fill for v in inputs]
+                late = fn(completed)
+                if early.is_defined:
+                    assert late == early or late is L.UNDEF or late == early
+            # Completing with the same values must reproduce the result.
+            same = [v if v is not None else L.UNDEF for v in inputs]
+            assert fn(same) is not None
+
+    @given(st.lists(defined, min_size=2, max_size=5))
+    def test_and_or_against_python(self, inputs):
+        bools = [v is L.ONE for v in inputs]
+        assert (and_gate(inputs) is L.ONE) == all(bools)
+        assert (or_gate(inputs) is L.ONE) == any(bools)
+
+    @given(st.lists(defined, min_size=2, max_size=5))
+    def test_xor_parity(self, inputs):
+        ones = sum(1 for v in inputs if v is L.ONE)
+        assert (xor_gate(inputs) is L.ONE) == (ones % 2 == 1)
+
+
+class TestBinNum:
+    def test_bits_of_lsb_first(self):
+        # BIN(10,5): element 1 is the LSB -> 0,1,0,1,0.
+        assert bits_of(10, 5) == [L.ZERO, L.ONE, L.ZERO, L.ONE, L.ZERO]
+
+    def test_bits_of_zero_width(self):
+        assert bits_of(0, 0) == []
+
+    def test_bits_of_overflow(self):
+        with pytest.raises(ValueError):
+            bits_of(32, 5)
+
+    def test_bits_of_negative(self):
+        with pytest.raises(ValueError):
+            bits_of(-1, 4)
+
+    def test_num_of_undefined(self):
+        assert num_of([L.ONE, L.UNDEF]) is None
+        assert num_of([L.ONE, L.NOINFL]) is None
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_roundtrip(self, value):
+        assert num_of(bits_of(value, 16)) == value
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=8, max_value=12))
+    def test_roundtrip_any_width(self, value, width):
+        assert num_of(bits_of(value, width)) == value

@@ -1,0 +1,56 @@
+"""Shared helper functions for the Zeus reproduction test suite."""
+
+from __future__ import annotations
+
+import repro
+from repro.core.values import Logic
+
+
+def compile_ok(text: str, top: str | None = None) -> repro.Circuit:
+    """Compile, asserting no check errors."""
+    circuit = repro.compile_text(text, top=top)
+    assert not circuit.diagnostics.has_errors(), circuit.diagnostics.render()
+    return circuit
+
+
+def bits_to_int(bits: list[Logic]) -> int | None:
+    from repro.core.values import num_of
+
+    return num_of(bits)
+
+
+def poke_all(sim, **values) -> None:
+    for name, value in values.items():
+        sim.poke(name, value)
+
+
+def step_and_peek_bit(sim, path: str) -> str:
+    sim.step()
+    return str(sim.peek_bit(path))
+
+
+#: A tiny wrapper making "expression test" components terse: the body is a
+#: single assignment ``y := <expr>`` over declared single-bit inputs.
+def expr_circuit(expr: str, inputs: list[str], extra: str = "") -> repro.Circuit:
+    ins = ", ".join(inputs)
+    return compile_ok(
+        f"""
+        {extra}
+        TYPE t = COMPONENT (IN {ins}: boolean; OUT y: boolean) IS
+        BEGIN
+            y := {expr}
+        END;
+        SIGNAL u: t;
+        """
+    )
+
+
+def eval_expr(expr: str, **inputs: int) -> str:
+    """Evaluate a 1-bit Zeus expression over 1-bit inputs; returns the
+    output as a string ('0', '1', 'UNDEF', 'NOINFL')."""
+    circuit = expr_circuit(expr, sorted(inputs))
+    sim = circuit.simulator()
+    for name, value in inputs.items():
+        sim.poke(name, value)
+    sim.step()
+    return str(sim.peek_bit("y"))
