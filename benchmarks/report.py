@@ -20,6 +20,7 @@ from repro.baselines import SwitchSimulator, build_ripple_adder
 from repro.core.checker import check
 from repro.core.elaborate import elaborate
 from repro.lang import parse
+from repro.obs import spans as obs_spans
 from repro.stdlib import extras, programs
 
 
@@ -132,6 +133,55 @@ def e12_compiler() -> None:
     print(table(["components", "parse", "elaborate", "check", "nets"], rows))
 
 
+def obs_phases() -> None:
+    """Compile-phase timings per builtin, from the repro.obs span layer
+    (the observability substrate future perf PRs regress against)."""
+    print("\n== OBS: compile-phase timings (repro.obs spans) ==")
+    rows = []
+    inventory_src = {**programs.ALL_PROGRAMS, **extras.EXTRA_PROGRAMS}
+    for name in ("adders", "mux4", "blackjack", "routing", "tinycpu"):
+        src = inventory_src[name]
+        obs_spans.REGISTRY.reset()
+        repro.compile_text(src)
+        t = obs_spans.REGISTRY.phase_totals()
+        rows.append([
+            name,
+            f"{t.get('lex', 0) * 1e3:.1f}ms",
+            f"{t.get('parse', 0) * 1e3:.1f}ms",
+            f"{t.get('elaborate', 0) * 1e3:.1f}ms",
+            f"{t.get('check', 0) * 1e3:.1f}ms",
+            f"{t.get('compile', 0) * 1e3:.1f}ms",
+        ])
+    obs_spans.REGISTRY.reset()
+    print(table(["program", "lex", "parse", "elaborate", "check", "total"],
+                rows))
+
+
+def obs_activity() -> None:
+    """Simulator activity metrics on the blackjack FSM (64 cycles)."""
+    print("\n== OBS: simulation activity (repro.obs metrics) ==")
+    c = repro.compile_text(programs.ALL_PROGRAMS["blackjack"])
+    sim = c.simulator(metrics=True)
+    sim.poke("RSET", 1); sim.step()
+    sim.poke("RSET", 0)
+    t0 = time.perf_counter()
+    sim.step(63)
+    wall = time.perf_counter() - t0
+    s = sim.metrics.summary()
+    rows = [[
+        "blackjack", s["cycles"], s["firings"],
+        f"{s['firings_per_cycle_avg']:.0f}", s["gate_evals"],
+        s["latches"], f"{63 / wall:,.0f}/s",
+    ]]
+    print(table(
+        ["program", "cycles", "firings", "fire/cyc", "gate evals",
+         "latches", "rate"],
+        rows,
+    ))
+    hot = ", ".join(n for n, _, _ in sim.metrics.top_nets(5))
+    print(f"hottest nets: {hot}")
+
+
 def inventory() -> None:
     print("\n== program inventory ==")
     rows = []
@@ -158,6 +208,8 @@ def main() -> None:
     e9_safety()
     e10_vs_switch()
     e12_compiler()
+    obs_phases()
+    obs_activity()
     inventory()
 
 

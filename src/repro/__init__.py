@@ -71,8 +71,9 @@ class Circuit:
 
     def simulator(self, **kwargs) -> Simulator:
         """A fresh :class:`~repro.core.simulator.Simulator` over this
-        design.  Keyword arguments: ``strict``, ``seed``,
-        ``record_firing``."""
+        design.  Keyword arguments: ``strict``, ``seed``, ``metrics``
+        (activity counters on ``sim.metrics``), ``record_firing``
+        (metrics plus the ordered firing-event log)."""
         return Simulator(self.design, **kwargs)
 
     def stats(self) -> dict[str, int]:
@@ -98,13 +99,16 @@ def compile_text(
     the last component-typed one).  With ``strict=False``, check errors
     are collected in ``Circuit.diagnostics`` instead of raised.
     """
-    source = SourceText(text, name)
-    program = parse(source)
-    design = elaborate(program, top=top, source=source)
-    design.netlist.name = design.name
-    sink = check(design, strict=strict)
-    for diag in design.sink.diagnostics:
-        sink.diagnostics.insert(0, diag)
+    from .obs.spans import span
+
+    with span("compile", source=name):
+        source = SourceText(text, name)
+        program = parse(source)
+        design = elaborate(program, top=top, source=source)
+        design.netlist.name = design.name
+        sink = check(design, strict=strict)
+        for diag in design.sink.diagnostics:
+            sink.diagnostics.insert(0, diag)
     return Circuit(design, sink)
 
 

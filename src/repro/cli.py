@@ -6,20 +6,31 @@ Subcommands:
 * ``stats FILE``     -- netlist statistics after elaboration;
 * ``sim FILE``       -- simulate N cycles with optional pokes, print
   the requested signals per cycle (or write a VCD);
+* ``profile FILE``   -- compile-phase timings (lex/parse/elaborate/
+  check) plus simulator activity: firing statistics, cycles/sec, and
+  the top-N hottest nets and gates;
 * ``layout FILE``    -- compute and print the floorplan;
 * ``analyze FILE``   -- logic depth, critical path, fan-out statistics;
 * ``dot FILE``       -- export the semantics graph as Graphviz DOT;
 * ``examples``       -- list the bundled paper programs (usable with
   ``--builtin NAME`` instead of FILE everywhere).
+
+``check``, ``sim``, ``analyze`` and ``profile`` accept ``--metrics
+FILE`` to dump a machine-readable ``zeus.metrics/1`` JSON report
+(compile-phase spans, design stats, and -- where a simulation ran --
+the activity counters).  See ``docs/INTERNALS.md``, "Observability".
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from . import Circuit, ZeusError, compile_text
 from .core.trace import Trace
+from .obs import metrics_report, write_metrics
+from .obs import spans as _spans
 from .stdlib import programs
 
 
@@ -51,6 +62,33 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_metrics(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--metrics", metavar="FILE",
+        help="write a zeus.metrics/1 JSON report to FILE",
+    )
+
+
+def _add_pokes(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--poke", action="append", default=[],
+        metavar="SIG=VAL[@CYCLE]",
+        help="drive SIG with VAL (int) from CYCLE on (default cycle 0)",
+    )
+
+
+def _parse_pokes(specs: list[str]) -> list[tuple[int, str, int]]:
+    pokes: list[tuple[int, str, int]] = []
+    for spec in specs:
+        sig, _, val = spec.partition("=")
+        cycle = 0
+        if "@" in val:
+            val, _, cyc = val.partition("@")
+            cycle = int(cyc)
+        pokes.append((cycle, sig, int(val, 0)))
+    return pokes
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="zeusc", description="Zeus HDL compiler/simulator (1983 reproduction)"
@@ -59,23 +97,34 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("check", help="run all static checks")
     _add_common(p)
+    _add_metrics(p)
 
     p = sub.add_parser("stats", help="netlist statistics")
     _add_common(p)
 
     p = sub.add_parser("sim", help="simulate")
     _add_common(p)
+    _add_metrics(p)
     p.add_argument("--cycles", type=int, default=8)
-    p.add_argument(
-        "--poke", action="append", default=[],
-        metavar="SIG=VAL[@CYCLE]",
-        help="drive SIG with VAL (int) from CYCLE on (default cycle 0)",
-    )
+    _add_pokes(p)
     p.add_argument(
         "--watch", action="append", default=[], metavar="SIG",
         help="signals to print per cycle (default: all ports)",
     )
     p.add_argument("--vcd", help="write a VCD file of the watched signals")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "profile",
+        help="compile-phase timings and simulation activity profile",
+    )
+    _add_common(p)
+    _add_metrics(p)
+    p.add_argument("--cycles", type=int, default=64,
+                   help="cycles to simulate (default 64)")
+    _add_pokes(p)
+    p.add_argument("--top-n", type=int, default=10, metavar="N",
+                   help="hottest nets/gates to list (default 10)")
     p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser("layout", help="compute the floorplan")
@@ -84,6 +133,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("analyze", help="netlist analysis report")
     _add_common(p)
+    _add_metrics(p)
     p.add_argument("--cone", metavar="SIG",
                    help="print the cone of influence of a signal")
 
@@ -102,6 +152,9 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
 
+    # Capture this invocation's compile-phase spans on a fresh registry.
+    registry = _spans.REGISTRY
+    registry.reset()
     try:
         circuit = _load(args)
     except ZeusError as exc:
@@ -114,6 +167,9 @@ def main(argv: list[str] | None = None) -> int:
         errors = len(circuit.diagnostics.errors)
         print(f"{circuit.name}: {errors} error(s), "
               f"{len(circuit.diagnostics.warnings)} warning(s)")
+        if args.metrics:
+            write_metrics(args.metrics, metrics_report(circuit, registry=registry))
+            print(f"wrote {args.metrics}")
         return 1 if errors else 0
 
     if args.cmd == "stats":
@@ -152,6 +208,9 @@ def main(argv: list[str] | None = None) -> int:
             cone = sorted(cone_of_influence(circuit.netlist, nets[0]))
             named = [c for c in cone if not c.split(".")[-1].startswith("$")]
             print(f"{'cone of ' + args.cone:>16}: {', '.join(named)}")
+        if args.metrics:
+            write_metrics(args.metrics, metrics_report(circuit, registry=registry))
+            print(f"wrote {args.metrics}")
         return 0
 
     if args.cmd == "dot":
@@ -166,24 +225,24 @@ def main(argv: list[str] | None = None) -> int:
             print(text, end="")
         return 0
 
+    if args.cmd == "profile":
+        return _profile(args, circuit, registry)
+
     # sim
-    sim = circuit.simulator(seed=args.seed, strict=not args.lenient)
-    pokes: list[tuple[int, str, int]] = []
-    for spec in args.poke:
-        sig, _, val = spec.partition("=")
-        cycle = 0
-        if "@" in val:
-            val, _, cyc = val.partition("@")
-            cycle = int(cyc)
-        pokes.append((cycle, sig, int(val, 0)))
+    sim = circuit.simulator(
+        seed=args.seed, strict=not args.lenient, metrics=bool(args.metrics)
+    )
+    pokes = _parse_pokes(args.poke)
     watch = args.watch or [p.name for p in circuit.netlist.ports]
     trace = Trace(watch)
     sim.attach_trace(trace)
+    t0 = time.perf_counter()
     for t in range(args.cycles):
         for cycle, sig, val in pokes:
             if cycle == t:
                 sim.poke(sig, val)
         sim.step()
+    elapsed = time.perf_counter() - t0
     print(trace.render_ascii())
     if sim.violations:
         print(f"{len(sim.violations)} runtime violation(s):")
@@ -192,6 +251,47 @@ def main(argv: list[str] | None = None) -> int:
     if args.vcd:
         trace.write_vcd(args.vcd, circuit.name)
         print(f"wrote {args.vcd}")
+    if args.metrics:
+        write_metrics(
+            args.metrics,
+            metrics_report(circuit, sim, registry, elapsed=elapsed),
+        )
+        print(f"wrote {args.metrics}")
+    return 0
+
+
+def _profile(args: argparse.Namespace, circuit: Circuit, registry) -> int:
+    """The ``zeusc profile`` body: phase timings, activity statistics,
+    hottest nets/gates, optional JSON export."""
+    sim = circuit.simulator(
+        seed=args.seed, strict=not args.lenient, metrics=True
+    )
+    pokes = _parse_pokes(args.poke)
+    t0 = time.perf_counter()
+    for t in range(args.cycles):
+        for cycle, sig, val in pokes:
+            if cycle == t:
+                sim.poke(sig, val)
+        sim.step()
+    elapsed = time.perf_counter() - t0
+
+    stats = circuit.netlist.stats()
+    print(f"== {circuit.name}: {stats['nets']} nets, {stats['gates']} gates, "
+          f"{stats['registers']} registers ==")
+    print("\ncompile phases:")
+    print(registry.render())
+    print("\nsimulation activity:")
+    print(sim.metrics.render(top=args.top_n))
+    rate = args.cycles / elapsed if elapsed > 0 else float("inf")
+    print(f"\nwall clock        : {elapsed * 1e3:.2f} ms "
+          f"for {args.cycles} cycles ({rate:,.0f} cycles/sec)")
+    if args.metrics:
+        write_metrics(
+            args.metrics,
+            metrics_report(circuit, sim, registry,
+                           elapsed=elapsed, top=args.top_n),
+        )
+        print(f"wrote {args.metrics}")
     return 0
 
 

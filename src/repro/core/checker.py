@@ -309,7 +309,10 @@ class Checker:
 def check(design: Design, strict: bool = True) -> DiagnosticSink:
     """Run all static checks; raise :class:`CheckError` on the first
     error when *strict*."""
-    sink = Checker(design).run()
+    from ..obs.spans import span
+
+    with span("check"):
+        sink = Checker(design).run()
     if strict and sink.has_errors():
         first = sink.errors[0]
         raise CheckError(first.message, first.span)

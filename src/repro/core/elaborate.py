@@ -1733,4 +1733,7 @@ def elaborate(
     *top* selects the top-level signal declaration to instantiate; by
     default the last top-level signal of a component type with a body.
     """
-    return Elaborator(program, source, name).run(top)
+    from ..obs.spans import span
+
+    with span("elaborate"):
+        return Elaborator(program, source, name).run(top)

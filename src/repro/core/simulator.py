@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence, Union
 
 from ..lang.errors import SimulationError
+from ..obs.metrics import SimMetrics
 from .elaborate import Design
 from .netlist import Gate, Net
 from .types import BOOLEAN
@@ -73,13 +74,12 @@ class Simulator:
         strict: bool = True,
         seed: int = 0,
         record_firing: bool = False,
+        metrics: bool = False,
     ):
         self.design = design
         self.netlist = design.netlist
         self.strict = strict
         self.rng = random.Random(seed)
-        self.record_firing = record_firing
-        self.firing_log: list[tuple[str, Logic]] = []
         self.violations: list[Violation] = []
         self.cycle = 0
 
@@ -156,6 +156,32 @@ class Simulator:
         self._pokes: dict[int, Logic] = {}
         self.values: list[Logic | None] = [None] * n
         self._traces: list = []
+
+        # Activity metrics (repro.obs).  ``record_firing=True`` is the
+        # legacy spelling: metrics plus the ordered firing-event log.
+        gate_labels = [
+            f"{g.op}->{self._display[self._gate_out[gi]]}"
+            for gi, g in enumerate(self._gates)
+        ]
+        self.metrics = SimMetrics(
+            list(self._display),
+            gate_labels,
+            enabled=metrics or record_firing,
+            keep_firing_log=record_firing,
+        )
+        self._metrics_on = self.metrics.enabled
+        self._prev_values: list[Logic | None] = [None] * n
+
+    @property
+    def record_firing(self) -> bool:
+        """Legacy flag view: True when the firing-event log is kept."""
+        return self.metrics.enabled and self.metrics.keep_firing_log
+
+    @property
+    def firing_log(self) -> list[tuple[str, Logic]]:
+        """Ordered ``(display_name, value)`` firing events (legacy view
+        of ``self.metrics.firing_log``)."""
+        return self.metrics.firing_log
 
     # -- construction helpers ------------------------------------------------
 
@@ -263,15 +289,25 @@ class Simulator:
 
     def step(self, cycles: int = 1) -> None:
         """Run *cycles* full clock cycles (evaluate + latch)."""
+        m = self.metrics
         for _ in range(cycles):
+            if m.enabled:
+                f0 = m.firings
+                w0 = m.gate_evals + m.driver_evals
             self.evaluate()
             self._latch()
+            if m.enabled:
+                m.cycles += 1
+                m.firings_per_cycle.append(m.firings - f0)
+                m.steps_per_cycle.append(m.gate_evals + m.driver_evals - w0)
+                self._prev_values = list(self.values)
             for trace in self._traces:
                 trace.sample(self)
             self.cycle += 1
 
     def evaluate(self) -> None:
         """One combinational evaluation pass (no latching)."""
+        self._metrics_on = self.metrics.enabled
         n = len(self._canon_ids)
         self.values = [None] * n
         self._contrib_count = [0] * n
@@ -335,11 +371,21 @@ class Simulator:
         if self.values[i] is not None:
             return
         self.values[i] = value
-        if self.record_firing:
-            self.firing_log.append((self._display[i], value))
+        if self._metrics_on:
+            m = self.metrics
+            m.firings += 1
+            m.net_fires[i] += 1
+            prev = self._prev_values[i]
+            if prev is not None and value is not prev:
+                m.net_toggles[i] += 1
+            if m.keep_firing_log:
+                m.firing_log.append((self._display[i], value))
         self._queue.append(i)
 
     def _try_gate(self, gi: int) -> None:
+        if self._metrics_on:
+            self.metrics.gate_evals += 1
+            self.metrics.gate_eval_counts[gi] += 1
         if self._gate_done[gi]:
             return
         op = self._gates[gi].op
@@ -351,9 +397,13 @@ class Simulator:
         out = _gate_value(op, vals, self.rng)
         if out is not None:
             self._gate_done[gi] = True
+            if self._metrics_on:
+                self.metrics.gate_fire_counts[gi] += 1
             self._fire(self._gate_out[gi], out)
 
     def _try_driver(self, di: int) -> None:
+        if self._metrics_on:
+            self.metrics.driver_evals += 1
         if self._driver_done[di]:
             return
         drv = self._drivers[di]
@@ -418,6 +468,8 @@ class Simulator:
     def _multi_drive(self, dst: int, values: list[Logic]) -> None:
         violation = Violation(self.cycle, self._display[dst], values)
         self.violations.append(violation)
+        if self._metrics_on:
+            self.metrics.violations += 1
         self._conflicted[dst] = True
         self._driving[dst] = Logic.UNDEF
         if self.strict:
@@ -428,19 +480,24 @@ class Simulator:
             )
 
     def _latch(self) -> None:
+        mon = self._metrics_on
         for ri, di in enumerate(self._reg_d):
             v = self.values[di]
             if v is not None and v is not Logic.NOINFL:
                 self._reg_state[ri] = v
+                if mon:
+                    self.metrics.latches += 1
 
     # -- state management ------------------------------------------------------
 
     def reset_state(self) -> None:
-        """Clear all register contents back to UNDEF and the cycle count."""
+        """Clear all register contents back to UNDEF, the cycle count,
+        and the activity metrics."""
         self._reg_state = [Logic.UNDEF] * len(self._reg_state)
         self.cycle = 0
         self.violations.clear()
-        self.firing_log.clear()
+        self.metrics.reset()
+        self._prev_values = [None] * len(self._prev_values)
 
     def registers(self) -> dict[str, Logic]:
         """Current register contents by instance path."""
@@ -450,6 +507,11 @@ class Simulator:
         }
 
     def attach_trace(self, trace) -> None:
+        """Attach a :class:`~repro.core.trace.Trace`; paths are resolved
+        to net indices once, here, so sampling is index-based."""
+        bind = getattr(trace, "bind", None)
+        if bind is not None:
+            bind(self)
         self._traces.append(trace)
 
     @property

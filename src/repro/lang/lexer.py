@@ -126,4 +126,7 @@ class Lexer:
 
 def tokenize(source: SourceText | str) -> list[Token]:
     """Convenience wrapper: scan *source* into a token list ending in EOF."""
-    return Lexer(source).tokens()
+    from ..obs.spans import span
+
+    with span("lex"):
+        return Lexer(source).tokens()

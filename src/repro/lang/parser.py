@@ -772,7 +772,11 @@ class Parser:
 
 def parse(source: SourceText | str) -> ast.Program:
     """Parse a complete Zeus program text."""
-    return Parser(source).parse_program()
+    from ..obs.spans import span
+
+    parser = Parser(source)  # lexing happens here, under its own span
+    with span("parse"):
+        return parser.parse_program()
 
 
 def parse_expression(source: SourceText | str) -> ast.Expr:

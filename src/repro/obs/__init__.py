@@ -1,0 +1,30 @@
+"""repro.obs -- the observability layer.
+
+Two halves:
+
+* :mod:`repro.obs.spans` -- compile-phase wall-clock spans (lex, parse,
+  elaborate, check) collected on a process-wide registry;
+* :mod:`repro.obs.metrics` -- simulator activity counters (firing
+  events, net toggles, gate evaluations, latches, violations) hanging
+  off every :class:`~repro.core.simulator.Simulator` as ``sim.metrics``.
+
+:mod:`repro.obs.export` serialises both as the versioned
+``zeus.metrics/1`` JSON schema consumed by ``zeusc profile`` and the
+``--metrics FILE`` flag.
+"""
+
+from .export import SCHEMA, metrics_report, validate_report, write_metrics
+from .metrics import SimMetrics
+from .spans import REGISTRY, Span, SpanRegistry, span
+
+__all__ = [
+    "REGISTRY",
+    "SCHEMA",
+    "SimMetrics",
+    "Span",
+    "SpanRegistry",
+    "metrics_report",
+    "span",
+    "validate_report",
+    "write_metrics",
+]

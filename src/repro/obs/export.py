@@ -1,0 +1,153 @@
+"""Machine-readable metrics export (the ``zeus.metrics/1`` schema).
+
+A report is a plain JSON object:
+
+.. code-block:: none
+
+    {
+      "schema": "zeus.metrics/1",
+      "design": {"name", "nets", "gates", "connections", "registers"},
+      "compile": {                      # omitted if no spans captured
+        "phases":      {name: inclusive seconds, ...},
+        "self_phases": {name: exclusive seconds, ...},
+        "spans":       [{name, path, start, duration_s, depth}, ...]
+      },
+      "sim": {                          # omitted if no simulation ran
+        "cycles", "firings", "firings_per_cycle_avg", "gate_evals",
+        "driver_evals", "propagation_steps", "latches", "violations",
+        "peak_cycle", "peak_cycle_firings",
+        "firings_by_cycle": [...], "steps_by_cycle": [...],
+        "nets":  [{"name", "toggles", "fires"}, ...],
+        "gates": [{"name", "evals", "fires"}, ...]
+      },
+      "wall": {"elapsed_s", "cycles_per_s"}   # omitted without timing
+    }
+
+:func:`validate_report` is the schema's executable definition — the
+docs, the tests and the CLI all go through it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from .spans import SpanRegistry
+
+if TYPE_CHECKING:
+    from .. import Circuit
+    from ..core.simulator import Simulator
+
+SCHEMA = "zeus.metrics/1"
+
+
+def metrics_report(
+    circuit: "Circuit",
+    sim: "Simulator | None" = None,
+    registry: SpanRegistry | None = None,
+    *,
+    elapsed: float | None = None,
+    top: int | None = None,
+) -> dict:
+    """Assemble the full ``zeus.metrics/1`` report dict."""
+    stats = circuit.netlist.stats()
+    report: dict = {
+        "schema": SCHEMA,
+        "design": {
+            "name": circuit.name,
+            "nets": stats.get("nets", 0),
+            "gates": stats.get("gates", 0),
+            "connections": stats.get("connections", 0),
+            "registers": stats.get("registers", 0),
+        },
+    }
+    if registry is not None and registry.spans:
+        report["compile"] = {
+            "phases": registry.phase_totals(),
+            "self_phases": registry.self_times(),
+            "spans": registry.to_dicts(),
+        }
+    if sim is not None and sim.metrics.enabled:
+        report["sim"] = sim.metrics.to_dict(top=top)
+    if elapsed is not None:
+        cycles = sim.metrics.cycles if sim is not None else 0
+        report["wall"] = {
+            "elapsed_s": elapsed,
+            "cycles_per_s": (cycles / elapsed) if elapsed > 0 else 0.0,
+        }
+    return report
+
+
+def write_metrics(path: str, report: dict) -> None:
+    """Validate and write a report as JSON."""
+    validate_report(report)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def validate_report(report: dict) -> None:
+    """Raise ``ValueError`` unless *report* conforms to the documented
+    ``zeus.metrics/1`` shape."""
+
+    def need(obj: dict, key: str, types, where: str):
+        if key not in obj:
+            raise ValueError(f"metrics report: missing {where}.{key}")
+        if not isinstance(obj[key], types):
+            raise ValueError(
+                f"metrics report: {where}.{key} must be "
+                f"{types}, got {type(obj[key]).__name__}"
+            )
+        return obj[key]
+
+    if not isinstance(report, dict):
+        raise ValueError("metrics report must be a dict")
+    if report.get("schema") != SCHEMA:
+        raise ValueError(
+            f"metrics report: schema must be {SCHEMA!r}, "
+            f"got {report.get('schema')!r}"
+        )
+    design = need(report, "design", dict, "report")
+    need(design, "name", str, "design")
+    for key in ("nets", "gates", "connections", "registers"):
+        need(design, key, int, "design")
+
+    if "compile" in report:
+        comp = need(report, "compile", dict, "report")
+        phases = need(comp, "phases", dict, "compile")
+        for name, dur in phases.items():
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(
+                    f"metrics report: compile.phases[{name!r}] must be a "
+                    f"non-negative number"
+                )
+        for sp in need(comp, "spans", list, "compile"):
+            need(sp, "name", str, "compile.spans[]")
+            need(sp, "duration_s", (int, float), "compile.spans[]")
+
+    if "sim" in report:
+        sim = need(report, "sim", dict, "report")
+        for key in ("cycles", "firings", "gate_evals", "driver_evals",
+                    "propagation_steps", "latches", "violations",
+                    "peak_cycle", "peak_cycle_firings"):
+            need(sim, key, int, "sim")
+        need(sim, "firings_per_cycle_avg", (int, float), "sim")
+        if len(need(sim, "firings_by_cycle", list, "sim")) != sim["cycles"]:
+            raise ValueError(
+                "metrics report: sim.firings_by_cycle length must equal "
+                "sim.cycles"
+            )
+        need(sim, "steps_by_cycle", list, "sim")
+        for net in need(sim, "nets", list, "sim"):
+            need(net, "name", str, "sim.nets[]")
+            need(net, "toggles", int, "sim.nets[]")
+            need(net, "fires", int, "sim.nets[]")
+        for gate in need(sim, "gates", list, "sim"):
+            need(gate, "name", str, "sim.gates[]")
+            need(gate, "evals", int, "sim.gates[]")
+            need(gate, "fires", int, "sim.gates[]")
+
+    if "wall" in report:
+        wall = need(report, "wall", dict, "report")
+        need(wall, "elapsed_s", (int, float), "wall")
+        need(wall, "cycles_per_s", (int, float), "wall")

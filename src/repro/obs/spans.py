@@ -1,0 +1,164 @@
+"""Compile-phase spans: a lightweight nestable timer API.
+
+The compile pipeline (lex -> parse -> elaborate -> check) reports where
+time goes through a process-wide :class:`SpanRegistry`.  Each phase
+wraps itself in ``with span("name"):`` and the registry records a
+:class:`Span` with its wall-clock duration and nesting path, e.g.
+``compile/parse`` or ``compile/parse/lex``.
+
+The registry is bounded (a deque) so long-running processes cannot leak
+memory, and it can be disabled entirely (``REGISTRY.enabled = False``)
+in which case ``span()`` degenerates to a near-free null context.
+
+Typical use::
+
+    from repro.obs import REGISTRY
+
+    REGISTRY.reset()
+    repro.compile_text(text)
+    print(REGISTRY.render())            # phase timing table
+    totals = REGISTRY.phase_totals()    # {"lex": 0.0003, ...}
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Span:
+    """One timed region.  ``path`` encodes nesting (``a/b/c``)."""
+
+    name: str
+    path: str
+    start: float
+    duration: float = 0.0
+    depth: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        d = {
+            "name": self.name,
+            "path": self.path,
+            "start": self.start,
+            "duration_s": self.duration,
+            "depth": self.depth,
+        }
+        if self.meta:
+            d["meta"] = dict(self.meta)
+        return d
+
+
+class SpanRegistry:
+    """A process-wide collector of :class:`Span` records.
+
+    ``maxlen`` bounds memory; the oldest spans are dropped first.  The
+    registry is intentionally simple (no thread-local stacks): the
+    compile pipeline is synchronous, and concurrent compiles should use
+    private registries via :meth:`scoped`.
+    """
+
+    def __init__(self, maxlen: int = 10_000):
+        self.enabled = True
+        self.spans: deque[Span] = deque(maxlen=maxlen)
+        self._stack: list[Span] = []
+
+    # -- recording ---------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **meta) -> Iterator[Span | None]:
+        """Time a region.  Yields the live :class:`Span` (or None when
+        the registry is disabled) so callers may attach metadata."""
+        if not self.enabled:
+            yield None
+            return
+        parent = self._stack[-1] if self._stack else None
+        path = f"{parent.path}/{name}" if parent else name
+        sp = Span(
+            name=name,
+            path=path,
+            start=time.perf_counter(),
+            depth=len(self._stack),
+            meta=meta,
+        )
+        self._stack.append(sp)
+        try:
+            yield sp
+        finally:
+            sp.duration = time.perf_counter() - sp.start
+            self._stack.pop()
+            self.spans.append(sp)
+
+    def reset(self) -> None:
+        self.spans.clear()
+        self._stack.clear()
+
+    @contextmanager
+    def scoped(self) -> Iterator["SpanRegistry"]:
+        """Temporarily swap in a fresh registry as the module default —
+        lets a caller capture exactly one compile's spans without racing
+        other users of the global registry."""
+        global REGISTRY
+        fresh = SpanRegistry(maxlen=self.spans.maxlen or 10_000)
+        prev = REGISTRY
+        REGISTRY = fresh
+        try:
+            yield fresh
+        finally:
+            REGISTRY = prev
+
+    # -- reporting ---------------------------------------------------------
+
+    def phase_totals(self) -> dict[str, float]:
+        """Total inclusive duration per span *name*, in seconds."""
+        totals: dict[str, float] = {}
+        for sp in self.spans:
+            totals[sp.name] = totals.get(sp.name, 0.0) + sp.duration
+        return totals
+
+    def self_times(self) -> dict[str, float]:
+        """Exclusive (self) duration per span name: inclusive time minus
+        the time spent in directly nested child spans."""
+        child_time: dict[str, float] = {}
+        for sp in self.spans:
+            if "/" in sp.path:
+                parent_path = sp.path.rsplit("/", 1)[0]
+                child_time[parent_path] = (
+                    child_time.get(parent_path, 0.0) + sp.duration
+                )
+        out: dict[str, float] = {}
+        for sp in self.spans:
+            self_t = sp.duration - child_time.get(sp.path, 0.0)
+            out[sp.name] = out.get(sp.name, 0.0) + self_t
+        return out
+
+    def to_dicts(self) -> list[dict]:
+        return [sp.to_dict() for sp in self.spans]
+
+    def render(self) -> str:
+        """A phase timing table (one row per span, in completion order)."""
+        if not self.spans:
+            return "(no spans recorded)"
+        ordered = sorted(self.spans, key=lambda s: s.start)
+        width = max(len("  " * s.depth + s.name) for s in ordered)
+        rows = []
+        for sp in ordered:
+            label = "  " * sp.depth + sp.name
+            rows.append(f"{label:<{width}}  {sp.duration * 1e3:9.3f} ms")
+        return "\n".join(rows)
+
+
+#: The process-wide default registry used by the compile pipeline.
+REGISTRY = SpanRegistry()
+
+
+@contextmanager
+def span(name: str, **meta) -> Iterator[Span | None]:
+    """Record *name* on the current default registry (see
+    :data:`REGISTRY`; :meth:`SpanRegistry.scoped` can swap it)."""
+    with REGISTRY.span(name, **meta) as sp:
+        yield sp

@@ -91,6 +91,13 @@ class TestTrace:
         trace.write_vcd(str(out))
         assert out.read_text().startswith("$date")
 
+    def test_empty_history_views(self):
+        trace = Trace(["x"])
+        assert trace.ints("x") == []
+        assert trace.bits("x") == []
+        assert trace.values("x") == []
+        assert trace.cycles == 0
+
     def test_vector_signals_in_vcd(self):
         circuit = compile_ok(
             """
@@ -108,3 +115,46 @@ class TestTrace:
         vcd = trace.to_vcd()
         assert "$var wire 4" in vcd
         assert any(l.startswith("b") for l in vcd.splitlines())
+
+    def test_vcd_vector_msb_first(self):
+        """Zeus index 1 is the LSB; VCD vectors print MSB first."""
+        trace = Trace(["v"])
+        # 5 = LSB-first [1, 0, 1, 0]  ->  VCD "b0101".
+        trace.history["v"].append(
+            [Logic.ONE, Logic.ZERO, Logic.ONE, Logic.ZERO]
+        )
+        trace.cycles = 1
+        vcd = trace.to_vcd()
+        assert any(l.startswith("b0101 ") for l in vcd.splitlines())
+
+    def test_vcd_idents_unique_past_94_signals(self):
+        """More signals than printable ident characters: codes go
+        multi-character and must stay unique."""
+        paths = [f"s{i}" for i in range(120)]
+        trace = Trace(paths)
+        for p in paths:
+            trace.history[p].append([Logic.ZERO])
+        trace.cycles = 1
+        vcd = trace.to_vcd()
+        idents = [
+            line.split()[3]
+            for line in vcd.splitlines()
+            if line.startswith("$var")
+        ]
+        assert len(idents) == 120
+        assert len(set(idents)) == 120
+        assert any(len(i) > 1 for i in idents)
+
+    def test_bound_sampling_matches_peek(self):
+        """The index-based fast path gives byte-identical samples to the
+        old peek()-based path."""
+        circuit = compile_ok(COUNTER)
+        sim = circuit.simulator()
+        fast = Trace(["en", "q0", "q1", "c.r0.in"])
+        sim.attach_trace(fast)     # bound via attach_trace
+        slow = Trace(["en", "q0", "q1", "c.r0.in"])
+        sim._traces.append(slow)   # unbound: falls back to peek()
+        assert fast._bound is not None and slow._bound is None
+        sim.poke("RSET", 1); sim.poke("en", 0); sim.step()
+        sim.poke("RSET", 0); sim.poke("en", 1); sim.step(6)
+        assert fast.history == slow.history
