@@ -15,9 +15,9 @@ from repro.stdlib import programs
 from zeus_bench_utils import compile_cached
 
 
-def simulate_adder(circuit, trials, seed=0):
+def simulate_adder(circuit, trials, seed=0, engine="auto"):
     width = len(circuit.netlist.port("a").nets)
-    sim = circuit.simulator()
+    sim = circuit.simulator(engine=engine)
     rng = random.Random(seed)
     checked = 0
     for _ in range(trials):
@@ -68,12 +68,14 @@ def test_layout_row_figure():
     assert columns == [0, 1, 2, 3]  # one full adder per column
 
 
+@pytest.mark.parametrize("engine", ["levelized", "dataflow"])
 @pytest.mark.parametrize("width", [4, 8, 16, 32])
-def test_bench_simulation_scaling(benchmark, width):
+def test_bench_simulation_scaling(benchmark, width, engine):
     circuit = compile_cached(programs.ripple_carry(width), top="adder")
     benchmark.extra_info["width"] = width
     benchmark.extra_info["nets"] = circuit.stats()["nets"]
-    checked = benchmark(simulate_adder, circuit, 20)
+    benchmark.extra_info["engine"] = engine
+    checked = benchmark(simulate_adder, circuit, 20, engine=engine)
     assert checked == 20
 
 

@@ -74,17 +74,22 @@ def test_outcomes_match_model_extensively():
     assert outcomes["stand"] > 0 and outcomes["broke"] > 0
 
 
-def test_bench_games_per_second(benchmark):
+@pytest.mark.parametrize("engine", ["levelized", "dataflow"])
+def test_bench_games_per_second(benchmark, engine):
     circuit = compile_cached(programs.BLACKJACK)
-    sim = circuit.simulator()
+    sim = circuit.simulator(engine=engine)
+    assert sim.engine == engine
     outcomes = benchmark(play_deck, sim, 11, 5)
     benchmark.extra_info["netlist"] = circuit.stats()
+    benchmark.extra_info["engine"] = engine
     assert sum(outcomes.values()) == 5
 
 
-def test_bench_raw_cycles(benchmark):
+@pytest.mark.parametrize("engine", ["levelized", "dataflow"])
+def test_bench_raw_cycles(benchmark, engine):
     circuit = compile_cached(programs.BLACKJACK)
-    sim = circuit.simulator()
+    sim = circuit.simulator(engine=engine)
+    assert sim.engine == engine
     sim.poke("RSET", 1); sim.poke("ycard", 0); sim.poke("value", 0)
     sim.step()
     sim.poke("RSET", 0)
@@ -94,3 +99,4 @@ def test_bench_raw_cycles(benchmark):
         return sim.cycle
 
     benchmark(run)
+    benchmark.extra_info["engine"] = engine

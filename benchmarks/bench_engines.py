@@ -1,0 +1,155 @@
+"""Engine benchmark driver: levelized vs dataflow cycles/sec.
+
+Runs the `bench_blackjack`/`bench_adders` workloads on both simulation
+engines, exports one ``zeus.metrics/1`` report per (workload, engine)
+pair, and writes a ``zeus.bench.simulator/1`` summary (the repo-root
+``BENCH_simulator.json``) recording cycles/sec and the speedup.
+
+Used by the CI benchmark-smoke job::
+
+    PYTHONPATH=src python benchmarks/bench_engines.py \
+        --cycles 2000 --out BENCH_simulator.json --metrics-dir bench-out
+
+and by hand to refresh the committed numbers.  ``--min-speedup`` makes
+the run fail unless the blackjack levelized/dataflow ratio clears the
+bar (CI uses 3.0, the acceptance threshold).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+import repro
+from repro.obs import metrics_report, validate_report, write_metrics
+from repro.obs import spans as _spans
+from repro.stdlib import programs
+
+BENCH_SCHEMA = "zeus.bench.simulator/1"
+
+#: (workload name, program text, top, reset/driven pokes)
+WORKLOADS = [
+    ("blackjack", lambda: programs.BLACKJACK, None,
+     {"RSET": 0, "ycard": 0, "value": 0}),
+    ("adders", lambda: programs.ripple_carry(16), "adder",
+     {"a": 41389, "b": 27245, "cin": 1}),
+]
+
+
+def measure(text, top, pokes, engine, cycles, seed=0):
+    """Simulate *cycles* cycles on *engine*; return the validated
+    ``zeus.metrics/1`` report (with wall-clock cycles/sec)."""
+    registry = _spans.REGISTRY
+    registry.reset()
+    circuit = repro.compile_text(text, top=top)
+    sim = circuit.simulator(seed=seed, metrics=True, engine=engine)
+    if sim.engine != engine:
+        raise RuntimeError(f"wanted engine {engine}, got {sim.engine}")
+    if "RSET" in pokes:
+        sim.poke("RSET", 1)
+        sim.step()
+        sim.metrics.reset()
+    for sig, val in pokes.items():
+        sim.poke(sig, val)
+    t0 = time.perf_counter()
+    sim.step(cycles)
+    elapsed = time.perf_counter() - t0
+    report = metrics_report(circuit, sim, registry, elapsed=elapsed, top=10)
+    validate_report(report)
+    registry.reset()
+    return report
+
+
+def compact(report):
+    """A committable subset of a ``zeus.metrics/1`` report: scalars and
+    top tables, without the per-cycle series and raw span list."""
+    out = {k: v for k, v in report.items() if k != "compile"}
+    if "compile" in report:
+        out["compile"] = {"phases": report["compile"]["phases"]}
+    out["sim"] = {
+        k: v for k, v in report["sim"].items()
+        if k not in ("firings_by_cycle", "steps_by_cycle")
+    }
+    return out
+
+
+def run_benchmarks(cycles, metrics_dir=None, seed=0):
+    """Measure every workload on both engines; return the summary dict."""
+    results = {}
+    for name, text_fn, top, pokes in WORKLOADS:
+        text = text_fn()
+        per_engine = {}
+        for engine in ("levelized", "dataflow"):
+            report = measure(text, top, pokes, engine, cycles, seed=seed)
+            if metrics_dir:
+                path = os.path.join(metrics_dir, f"{name}-{engine}.json")
+                write_metrics(path, report)
+            per_engine[engine] = compact(report)
+        lev = per_engine["levelized"]["wall"]["cycles_per_s"]
+        df = per_engine["dataflow"]["wall"]["cycles_per_s"]
+        results[name] = {
+            "cycles": cycles,
+            "cycles_per_s": {"levelized": lev, "dataflow": df},
+            "speedup": (lev / df) if df else 0.0,
+            "reports": per_engine,
+        }
+    return {"schema": BENCH_SCHEMA, "workloads": results}
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--cycles", type=int, default=2000,
+                    help="cycles to simulate per run (default 2000)")
+    ap.add_argument("--out", default="BENCH_simulator.json",
+                    help="summary JSON path (default BENCH_simulator.json)")
+    ap.add_argument("--metrics-dir", default=None,
+                    help="also write per-run zeus.metrics/1 JSONs here")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="fail unless blackjack speedup clears this bar")
+    ap.add_argument("--seed", type=int, default=0)
+    args = ap.parse_args(argv)
+
+    if args.metrics_dir:
+        os.makedirs(args.metrics_dir, exist_ok=True)
+    summary = run_benchmarks(args.cycles, args.metrics_dir, seed=args.seed)
+
+    for name, res in summary["workloads"].items():
+        rates = res["cycles_per_s"]
+        print(f"{name:10s} levelized {rates['levelized']:>10,.0f} c/s   "
+              f"dataflow {rates['dataflow']:>10,.0f} c/s   "
+              f"speedup {res['speedup']:.1f}x")
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(summary, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.min_speedup is not None:
+        got = summary["workloads"]["blackjack"]["speedup"]
+        if got < args.min_speedup:
+            print(f"FAIL: blackjack speedup {got:.2f}x "
+                  f"< required {args.min_speedup}x")
+            return 1
+    return 0
+
+
+# -- tier-1 smoke (bench_*.py files are collected by pytest) ---------------
+
+def test_bench_engines_summary_shape(tmp_path):
+    out_dir = str(tmp_path / "metrics")
+    os.makedirs(out_dir)
+    summary = run_benchmarks(cycles=20, metrics_dir=out_dir)
+    assert summary["schema"] == BENCH_SCHEMA
+    for name in ("blackjack", "adders"):
+        res = summary["workloads"][name]
+        assert res["cycles_per_s"]["levelized"] > 0
+        assert res["cycles_per_s"]["dataflow"] > 0
+        for engine in ("levelized", "dataflow"):
+            assert res["reports"][engine]["sim"]["engine"] == engine
+            exported = os.path.join(out_dir, f"{name}-{engine}.json")
+            validate_report(json.loads(open(exported).read()))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -161,13 +161,18 @@ class UncheckedSimulator:
                 return
             vals = [self.values[i].to_boolean() for i in ins]
             if op == "EQUAL":
+                # One defined, differing bit position settles it to ZERO
+                # even if other positions are undefined (section 8).
                 half = len(vals) // 2
-                if all(v.is_defined for v in vals):
-                    self.values[out] = (
-                        Logic.ONE if vals[:half] == vals[half:] else Logic.ZERO
-                    )
-                else:
-                    self.values[out] = Logic.UNDEF
+                result = Logic.ONE
+                for x, y in zip(vals[:half], vals[half:]):
+                    if x.is_defined and y.is_defined:
+                        if x is not y:
+                            result = Logic.ZERO
+                            break
+                    else:
+                        result = Logic.UNDEF
+                self.values[out] = result
                 return
             result = GATE_FUNCTIONS[op](vals)
             self.values[out] = Logic.UNDEF if result is None else result

@@ -28,6 +28,7 @@ import sys
 import time
 
 from . import Circuit, ZeusError, compile_text
+from .core.simulator import ENGINES
 from .core.trace import Trace
 from .obs import metrics_report, write_metrics
 from .obs import spans as _spans
@@ -77,6 +78,14 @@ def _add_pokes(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--engine", choices=ENGINES, default="auto",
+        help="simulation engine: levelized fast path, dataflow firing, "
+             "or auto (levelized when the design can be scheduled)",
+    )
+
+
 def _parse_pokes(specs: list[str]) -> list[tuple[int, str, int]]:
     pokes: list[tuple[int, str, int]] = []
     for spec in specs:
@@ -113,6 +122,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("--vcd", help="write a VCD file of the watched signals")
     p.add_argument("--seed", type=int, default=0)
+    _add_engine(p)
 
     p = sub.add_parser(
         "profile",
@@ -126,6 +136,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--top-n", type=int, default=10, metavar="N",
                    help="hottest nets/gates to list (default 10)")
     p.add_argument("--seed", type=int, default=0)
+    _add_engine(p)
 
     p = sub.add_parser("layout", help="compute the floorplan")
     _add_common(p)
@@ -230,7 +241,8 @@ def main(argv: list[str] | None = None) -> int:
 
     # sim
     sim = circuit.simulator(
-        seed=args.seed, strict=not args.lenient, metrics=bool(args.metrics)
+        seed=args.seed, strict=not args.lenient, metrics=bool(args.metrics),
+        engine=args.engine,
     )
     pokes = _parse_pokes(args.poke)
     watch = args.watch or [p.name for p in circuit.netlist.ports]
@@ -264,7 +276,8 @@ def _profile(args: argparse.Namespace, circuit: Circuit, registry) -> int:
     """The ``zeusc profile`` body: phase timings, activity statistics,
     hottest nets/gates, optional JSON export."""
     sim = circuit.simulator(
-        seed=args.seed, strict=not args.lenient, metrics=True
+        seed=args.seed, strict=not args.lenient, metrics=True,
+        engine=args.engine,
     )
     pokes = _parse_pokes(args.poke)
     t0 = time.perf_counter()
@@ -278,6 +291,10 @@ def _profile(args: argparse.Namespace, circuit: Circuit, registry) -> int:
     stats = circuit.netlist.stats()
     print(f"== {circuit.name}: {stats['nets']} nets, {stats['gates']} gates, "
           f"{stats['registers']} registers ==")
+    engine_line = sim.engine
+    if sim.engine_reason:
+        engine_line += f" ({sim.engine_reason})"
+    print(f"simulation engine : {engine_line}")
     print("\ncompile phases:")
     print(registry.render())
     print("\nsimulation activity:")

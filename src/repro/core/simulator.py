@@ -27,6 +27,7 @@ implicit amplifier of section 3.2), REG latching maps NOINFL to "keep".
 from __future__ import annotations
 
 import random
+import re
 from dataclasses import dataclass
 from typing import Iterable, Sequence, Union
 
@@ -34,8 +35,13 @@ from ..lang.errors import SimulationError
 from ..obs.metrics import SimMetrics
 from .elaborate import Design
 from .netlist import Gate, Net
+from .schedule import Schedule, ScheduleError, build_schedule
+from .schedule import execute as _execute_schedule
 from .types import BOOLEAN
 from .values import Logic
+
+#: Valid values for the ``engine=`` knob.
+ENGINES = ("auto", "levelized", "dataflow")
 
 PokeValue = Union[Logic, int, str, Sequence[Union[Logic, int, str]]]
 
@@ -65,7 +71,23 @@ class _Driver:
 
 class Simulator:
     """Cycle-based simulator for an elaborated (and ideally checked)
-    :class:`~repro.core.elaborate.Design`."""
+    :class:`~repro.core.elaborate.Design`.
+
+    Two evaluation engines share the section-8 semantics:
+
+    * ``"levelized"`` -- the fast path: gates and drivers are compiled
+      once into a static topological :class:`~repro.core.schedule.Schedule`
+      of the REG-cut semantics graph and each cycle is a single pass over
+      it (see :mod:`repro.core.schedule`);
+    * ``"dataflow"`` -- the original firing-rule engine (worklist + watch
+      lists), the semantics oracle and the only engine able to run
+      unchecked cyclic designs.
+
+    ``engine="auto"`` (the default) selects the levelized engine whenever
+    a schedule can be built, and otherwise falls back to dataflow with
+    the reason recorded in :attr:`engine_reason`.  The resolved choice is
+    in :attr:`engine`.
+    """
 
     def __init__(
         self,
@@ -75,6 +97,7 @@ class Simulator:
         seed: int = 0,
         record_firing: bool = False,
         metrics: bool = False,
+        engine: str = "auto",
     ):
         self.design = design
         self.netlist = design.netlist
@@ -156,6 +179,7 @@ class Simulator:
         self._pokes: dict[int, Logic] = {}
         self.values: list[Logic | None] = [None] * n
         self._traces: list = []
+        self._path_cache: dict[str, list[Net]] = {}
 
         # Activity metrics (repro.obs).  ``record_firing=True`` is the
         # legacy spelling: metrics plus the ordered firing-event log.
@@ -171,6 +195,36 @@ class Simulator:
         )
         self._metrics_on = self.metrics.enabled
         self._prev_values: list[Logic | None] = [None] * n
+
+        # Engine selection: compile the static schedule when possible.
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        self.engine_requested = engine
+        self.engine = "dataflow"
+        #: why the dataflow engine was selected ("" for levelized).
+        self.engine_reason = ""
+        self._schedule: Schedule | None = None
+        if engine == "dataflow":
+            self.engine_reason = "dataflow engine requested"
+        elif engine == "auto" and self.metrics.keep_firing_log:
+            # The firing log is defined by dataflow propagation order.
+            self.engine_reason = "record_firing needs the dataflow event order"
+        else:
+            from ..obs.spans import span
+
+            try:
+                with span("schedule", design=self.design.name):
+                    self._schedule = build_schedule(self)
+                self.engine = "levelized"
+            except ScheduleError as exc:
+                if engine == "levelized":
+                    raise SimulationError(
+                        f"cannot build a levelized schedule: {exc}"
+                    ) from exc
+                self.engine_reason = str(exc)
+        self.metrics.engine = self.engine
 
     @property
     def record_firing(self) -> bool:
@@ -205,7 +259,17 @@ class Simulator:
         """Resolve a hierarchical signal path to its flattened nets.
 
         Accepts full paths (``adder.a``), top-relative paths (``a``), and
-        a trailing ``[i]`` element selection on a registered array."""
+        a trailing ``[i]`` element selection on a registered array.
+        Resolutions are cached (the netlist is immutable), so the hot
+        peek/poke path and :meth:`~repro.core.trace.Trace.bind` pay the
+        search at most once per distinct path."""
+        nets = self._path_cache.get(path)
+        if nets is None:
+            nets = self._resolve_nets(path)
+            self._path_cache[path] = nets
+        return nets
+
+    def _resolve_nets(self, path: str) -> list[Net]:
         signals = self.netlist.signals
         if path in signals:
             return signals[path]
@@ -227,10 +291,8 @@ class Simulator:
             # abbreviation rule (``state.out`` == ``state[1..n].out``).
             if "." in candidate:
                 base, _, field = candidate.rpartition(".")
-                import re as _re
-
-                pat = _re.compile(
-                    _re.escape(base) + r"\[(-?\d+)\]\." + _re.escape(field) + "$"
+                pat = re.compile(
+                    re.escape(base) + r"\[(-?\d+)\]\." + re.escape(field) + "$"
                 )
                 hits: list[tuple[int, list[Net]]] = []
                 for key, nets in signals.items():
@@ -306,7 +368,66 @@ class Simulator:
             self.cycle += 1
 
     def evaluate(self) -> None:
-        """One combinational evaluation pass (no latching)."""
+        """One combinational evaluation pass (no latching), on the
+        engine selected at construction."""
+        if self._schedule is not None:
+            self._evaluate_levelized()
+        else:
+            self._evaluate_dataflow()
+
+    def _evaluate_levelized(self) -> None:
+        """Fast path: one pass over the static schedule; the value array
+        is reused, nothing else is allocated per cycle."""
+        self._metrics_on = self.metrics.enabled
+        _execute_schedule(
+            self._schedule,
+            self.values,
+            self._pokes,
+            self._reg_state,
+            self.rng.random,
+            self._conflict,
+        )
+        if self._metrics_on:
+            self._levelized_metrics()
+
+    def _levelized_metrics(self) -> None:
+        """Activity accounting for one levelized pass.  The levelized
+        engine touches every gate and driver exactly once per cycle, so
+        ``gate_evals``/``driver_evals`` count real single evaluations
+        (the dataflow engine may need several attempts per gate)."""
+        m = self.metrics
+        sched = self._schedule
+        prev = self._prev_values
+        fires = m.net_fires
+        toggles = m.net_toggles
+        fired = 0
+        for i, v in enumerate(self.values):
+            if v is None:
+                continue
+            fired += 1
+            fires[i] += 1
+            p = prev[i]
+            if p is not None and v is not p:
+                toggles[i] += 1
+        m.firings += fired
+        m.gate_evals += sched.n_gates
+        m.driver_evals += sched.n_drivers
+        evals = m.gate_eval_counts
+        gate_fires = m.gate_fire_counts
+        for gi in sched.gate_ids:
+            evals[gi] += 1
+            gate_fires[gi] += 1
+        if m.keep_firing_log:
+            # Levelized firing order is schedule order, not dataflow
+            # propagation order (engine="auto" keeps dataflow instead).
+            display = self._display
+            log = m.firing_log
+            for i, v in enumerate(self.values):
+                if v is not None:
+                    log.append((display[i], v))
+
+    def _evaluate_dataflow(self) -> None:
+        """The dataflow firing-rule engine (the semantics oracle)."""
         self._metrics_on = self.metrics.enabled
         n = len(self._canon_ids)
         self.values = [None] * n
@@ -383,11 +504,13 @@ class Simulator:
         self._queue.append(i)
 
     def _try_gate(self, gi: int) -> None:
+        if self._gate_done[gi]:
+            # Already fired: re-notification from a late input, not an
+            # evaluation -- must not inflate the activity counters.
+            return
         if self._metrics_on:
             self.metrics.gate_evals += 1
             self.metrics.gate_eval_counts[gi] += 1
-        if self._gate_done[gi]:
-            return
         op = self._gates[gi].op
         ins = self._gate_in[gi]
         vals: list[Logic | None] = [
@@ -466,12 +589,22 @@ class Simulator:
             self._fire(dst, Logic.NOINFL if v is None else v)
 
     def _multi_drive(self, dst: int, values: list[Logic]) -> None:
-        violation = Violation(self.cycle, self._display[dst], values)
-        self.violations.append(violation)
-        if self._metrics_on:
-            self.metrics.violations += 1
         self._conflicted[dst] = True
         self._driving[dst] = Logic.UNDEF
+        self._record_violation(dst, values)
+
+    def _conflict(self, dst: int, prior: Logic, value: Logic) -> Logic:
+        """Levelized-engine multi-drive hook: record and resolve to
+        UNDEF (mirrors :meth:`_multi_drive` without dataflow scratch)."""
+        self._record_violation(dst, [prior, value])
+        return Logic.UNDEF
+
+    def _record_violation(self, dst: int, values: list[Logic]) -> None:
+        self.violations.append(
+            Violation(self.cycle, self._display[dst], values)
+        )
+        if self._metrics_on:
+            self.metrics.violations += 1
         if self.strict:
             raise SimulationError(
                 f"multiple (0,1,UNDEF) assignments to signal "
@@ -491,13 +624,17 @@ class Simulator:
     # -- state management ------------------------------------------------------
 
     def reset_state(self) -> None:
-        """Clear all register contents back to UNDEF, the cycle count,
-        and the activity metrics."""
+        """Reset to a fresh run: registers back to UNDEF, cycle count,
+        violations and activity metrics cleared, all signal values and
+        pokes dropped (``peek`` reads UNDEF until the next cycle and no
+        stale poke leaks into the new run)."""
         self._reg_state = [Logic.UNDEF] * len(self._reg_state)
         self.cycle = 0
         self.violations.clear()
         self.metrics.reset()
         self._prev_values = [None] * len(self._prev_values)
+        self.values = [None] * len(self.values)
+        self._pokes.clear()
 
     def registers(self) -> dict[str, Logic]:
         """Current register contents by instance path."""
@@ -529,13 +666,22 @@ def _gate_value(
     if op == "RANDOM":
         return Logic.ONE if rng.random() < 0.5 else Logic.ZERO
     if op == "EQUAL":
-        if any(v is None for v in vals):
-            return None
+        # Section-8 firing rule: a single bit position with two defined,
+        # differing values settles the comparison to ZERO no matter what
+        # the other (possibly unfired or undefined) positions hold.
         half = len(vals) // 2
-        a, b = vals[:half], vals[half:]
-        if all(v is not None and v.is_defined for v in vals):
-            return Logic.ONE if a == b else Logic.ZERO
-        return Logic.UNDEF
+        unknown = undef = False
+        for x, y in zip(vals[:half], vals[half:]):
+            if x is None or y is None:
+                unknown = True
+            elif x.is_defined and y.is_defined:
+                if x is not y:
+                    return Logic.ZERO
+            else:
+                undef = True
+        if unknown:
+            return None
+        return Logic.UNDEF if undef else Logic.ONE
     fn = V.GATE_FUNCTIONS[op]
     return fn(vals)
 

@@ -180,13 +180,26 @@ def xor_gate(inputs: Sequence[Logic | None]) -> Logic | None:
 
 
 def equal_gate(inputs: Sequence[Logic | None]) -> Logic | None:
-    """EQUAL on one bit position: 1 iff both defined and equal."""
-    if any(v is None for v in inputs):
+    """EQUAL on one bit position: 1 iff all defined and equal.
+
+    Fires ZERO as soon as two defined, differing values are present —
+    the comparison is settled no matter what the remaining (unfired or
+    undefined) inputs turn out to be (section-8 firing rules).
+    """
+    first: Logic | None = None
+    unknown = undef = False
+    for v in inputs:
+        if v is None:
+            unknown = True
+        elif not v.is_defined:
+            undef = True
+        elif first is None:
+            first = v
+        elif v is not first:
+            return Logic.ZERO
+    if unknown:
         return None
-    if all(v is not None and v.is_defined for v in inputs):
-        first = inputs[0]
-        return Logic.ONE if all(v == first for v in inputs) else Logic.ZERO
-    return Logic.UNDEF
+    return Logic.UNDEF if undef else Logic.ONE
 
 
 def not_gate(value: Logic | None) -> Logic | None:

@@ -13,6 +13,7 @@ A report is a plain JSON object:
         "spans":       [{name, path, start, duration_s, depth}, ...]
       },
       "sim": {                          # omitted if no simulation ran
+        "engine",                       # "levelized" | "dataflow"
         "cycles", "firings", "firings_per_cycle_avg", "gate_evals",
         "driver_evals", "propagation_steps", "latches", "violations",
         "peak_cycle", "peak_cycle_firings",
@@ -132,6 +133,8 @@ def validate_report(report: dict) -> None:
                     "peak_cycle", "peak_cycle_firings"):
             need(sim, key, int, "sim")
         need(sim, "firings_per_cycle_avg", (int, float), "sim")
+        if "engine" in sim:
+            need(sim, "engine", str, "sim")
         if len(need(sim, "firings_by_cycle", list, "sim")) != sim["cycles"]:
             raise ValueError(
                 "metrics report: sim.firings_by_cycle length must equal "

@@ -12,8 +12,9 @@ What is counted, per the section-8 dataflow semantics:
 * **net activity** — per class: fire count and *toggle* count (the fired
   value differs from the previous cycle's — the classic switching
   activity measure);
-* **gate activity** — per gate: evaluation attempts (``_try_gate``
-  calls, a direct measure of simulator work) and output firings;
+* **gate activity** — per gate: real evaluation attempts (``_try_gate``
+  calls on a not-yet-fired gate in the dataflow engine, one evaluation
+  per gate per cycle in the levelized engine) and output firings;
 * **propagation steps** — worklist pops per cycle (the event-driven
   analogue of a relaxation simulator's settle iterations);
 * **latches** — registers that stored a new driving value at cycle end;
@@ -48,6 +49,9 @@ class SimMetrics:
         self.net_names = net_names
         self.gate_labels = gate_labels
         self.reset()
+        #: which engine produced the counters ("levelized"/"dataflow");
+        #: set by the owning Simulator, survives reset().
+        self.engine = "dataflow"
 
     def reset(self) -> None:
         n, g = len(self.net_names), len(self.gate_labels)
@@ -139,6 +143,7 @@ class SimMetrics:
         )
         return {
             **self.summary(),
+            "engine": self.engine,
             "firings_by_cycle": list(self.firings_per_cycle),
             "steps_by_cycle": list(self.steps_per_cycle),
             "nets": [
@@ -155,6 +160,7 @@ class SimMetrics:
         """Human-readable activity report (the ``zeusc profile`` body)."""
         s = self.summary()
         lines = [
+            f"engine            : {self.engine}",
             f"cycles            : {s['cycles']}",
             f"net firings       : {s['firings']} "
             f"({s['firings_per_cycle_avg']:.1f}/cycle)",

@@ -59,6 +59,8 @@ class Testbench:
 
     ``reset_signal`` names the reset input (the predefined RSET by
     default); ``reset_drive`` maps inputs to hold during reset.
+    ``engine`` selects the simulation engine ("auto", "levelized" or
+    "dataflow" — see :class:`Simulator`).
     """
 
     __test__ = False  # not a pytest test class despite the name
@@ -67,12 +69,15 @@ class Testbench:
     strict: bool = True
     seed: int = 0
     reset_signal: str = "RSET"
+    engine: str = "auto"
     sim: Simulator = field(init=False)
     #: cycle-indexed log of expect() checks that passed, for reporting.
     checked: int = 0
 
     def __post_init__(self) -> None:
-        self.sim = self.circuit.simulator(strict=self.strict, seed=self.seed)
+        self.sim = self.circuit.simulator(
+            strict=self.strict, seed=self.seed, engine=self.engine
+        )
 
     # -- driving ---------------------------------------------------------
 

@@ -1,0 +1,309 @@
+"""Differential tests: the levelized fast-path engine against the
+dataflow firing engine (the semantics oracle), plus the ``engine=``
+knob through :class:`Simulator`, :class:`Testbench` and the CLI.
+
+Equivalence is checked cycle-by-cycle on peeks of every named signal,
+the register state, and the violation log (compared as sorted
+``(cycle, net)`` pairs -- the *values* attached to a violation depend
+on driver arrival order, which the two engines legitimately disagree
+on).  In strict mode a raised :class:`SimulationError` is part of the
+observable behaviour and must match too.
+"""
+
+import json
+import random
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.core.schedule import ScheduleError, build_schedule
+from repro.core.simulator import ENGINES
+from repro.lang import SimulationError
+from repro.stdlib import programs
+from repro.testbench import Testbench
+
+from test_fuzz import build_dag, render_zeus
+from zeus_test_utils import compile_ok
+
+SIMPLE = """
+TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+SIGNAL r: REG;
+BEGIN
+    IF RSET THEN r.in := 0 ELSE r.in := NOT r.out END;
+    y := AND(a, r.out)
+END;
+SIGNAL u: t;
+"""
+
+CYCLIC = """
+TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+SIGNAL p, q: boolean;
+BEGIN
+    p := AND(a, q);
+    q := OR(a, p);
+    y := q
+END;
+SIGNAL u: t;
+"""
+
+CONFLICT = """
+TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+SIGNAL p: boolean;
+BEGIN
+    IF a THEN p := 1 END;
+    IF NOT a THEN p := 1 END;
+    IF a THEN p := 0 END;
+    y := p
+END;
+SIGNAL u: t;
+"""
+
+
+def scalar_paths(circuit):
+    return [p for p in circuit.netlist.signals if not p.endswith("]")]
+
+
+def port_stimulus(circuit):
+    """A deterministic per-cycle drive pattern over every IN port:
+    RSET for two cycles, then alternating bits staggered per port."""
+    inputs = [p.name for p in circuit.netlist.ports if p.mode == "IN"]
+
+    def stim(cycle):
+        drives = []
+        for k, name in enumerate(inputs):
+            if name == "RSET":
+                drives.append((name, 1 if cycle < 2 else 0))
+            else:
+                drives.append((name, (cycle + k) % 2))
+        return drives
+
+    return stim
+
+
+def run_trace(circuit, engine, *, cycles=20, seed=3, strict=True,
+              stimulus=None):
+    """Capture (peeks, registers) per cycle, the violation log and any
+    strict-mode SimulationError."""
+    sim = circuit.simulator(seed=seed, strict=strict, engine=engine)
+    paths = scalar_paths(circuit)
+    rows = []
+    error = None
+    try:
+        for cycle in range(cycles):
+            if stimulus is not None:
+                for sig, val in stimulus(cycle):
+                    sim.poke(sig, val)
+            sim.step()
+            rows.append((
+                tuple(str(v) for p in paths for v in sim.peek(p)),
+                tuple(sorted(
+                    (k, str(v)) for k, v in sim.registers().items()
+                )),
+            ))
+    except SimulationError as exc:
+        error = str(exc)
+    violations = sorted((v.cycle, v.net) for v in sim.violations)
+    return rows, violations, error
+
+
+class TestStdlibEquivalence:
+    @pytest.mark.parametrize("name", sorted(programs.ALL_PROGRAMS))
+    def test_engines_agree(self, name):
+        circuit = repro.compile_text(programs.ALL_PROGRAMS[name], name=name)
+        stim = port_stimulus(circuit)
+        lev = run_trace(circuit, "levelized", stimulus=stim)
+        # Sanity: the fast path actually engaged.
+        assert circuit.simulator(engine="levelized").engine == "levelized"
+        df = run_trace(circuit, "dataflow", stimulus=stim)
+        assert lev == df
+
+    @pytest.mark.parametrize("name", ["blackjack", "memory"])
+    def test_engines_agree_undriven(self, name):
+        # No stimulus at all: UNDEF propagation must match as well.
+        circuit = repro.compile_text(programs.ALL_PROGRAMS[name], name=name)
+        assert run_trace(circuit, "levelized") == run_trace(
+            circuit, "dataflow"
+        )
+
+
+class TestFuzzEquivalence:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_dags_agree(self, seed):
+        rng = random.Random(seed)
+        n_inputs = rng.randint(2, 5)
+        nodes = build_dag(rng, n_inputs, rng.randint(3, 12))
+        circuit = repro.compile_text(
+            render_zeus(n_inputs, nodes), strict=False
+        )
+
+        def stim(cycle):
+            return [(f"i{k}", (seed + cycle + k) % 2)
+                    for k in range(n_inputs)]
+
+        for strict in (True, False):
+            lev = run_trace(circuit, "levelized", cycles=6, seed=seed,
+                            strict=strict, stimulus=stim)
+            df = run_trace(circuit, "dataflow", cycles=6, seed=seed,
+                           strict=strict, stimulus=stim)
+            assert lev == df
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_register_pipelines_agree(self, seed):
+        rng = random.Random(1000 + seed)
+        depth = rng.randint(1, 4)
+        regs = "; ".join(f"SIGNAL r{i}: REG" for i in range(depth))
+        stages = "\n".join(
+            f"    r{i}.in := NOT r{i - 1}.out;" for i in range(1, depth)
+        )
+        text = f"""
+TYPE t = COMPONENT (IN d: boolean; OUT q: boolean) IS
+{regs};
+BEGIN
+    r0.in := d;
+{stages}
+    q := r{depth - 1}.out
+END;
+SIGNAL u: t;
+"""
+        circuit = repro.compile_text(text)
+
+        def stim(cycle):
+            return [("d", (seed >> (cycle % 4)) & 1)]
+
+        assert run_trace(circuit, "levelized", stimulus=stim) == run_trace(
+            circuit, "dataflow", stimulus=stim
+        )
+
+
+class TestViolationEquivalence:
+    def test_lenient_conflicts_agree(self):
+        circuit = repro.compile_text(CONFLICT, strict=False)
+
+        def stim(cycle):
+            return [("a", cycle % 2)]
+
+        lev = run_trace(circuit, "levelized", strict=False, stimulus=stim)
+        df = run_trace(circuit, "dataflow", strict=False, stimulus=stim)
+        assert lev == df
+        assert lev[1]  # conflicts were actually exercised
+
+    def test_strict_conflict_raises_same_error(self):
+        circuit = repro.compile_text(CONFLICT, strict=False)
+
+        def stim(cycle):
+            return [("a", 1)]
+
+        lev = run_trace(circuit, "levelized", strict=True, stimulus=stim)
+        df = run_trace(circuit, "dataflow", strict=True, stimulus=stim)
+        assert lev == df
+        assert lev[2] is not None and "burn" in lev[2]
+
+
+class TestMetricsEquivalence:
+    def test_activity_counters_agree(self):
+        circuit = repro.compile_text(programs.ALL_PROGRAMS["blackjack"])
+        stats = {}
+        for engine in ("levelized", "dataflow"):
+            sim = circuit.simulator(metrics=True, engine=engine)
+            sim.poke("RSET", 1); sim.step()
+            sim.poke("RSET", 0); sim.step(15)
+            m = sim.metrics
+            stats[engine] = (
+                m.cycles, m.firings, m.latches, m.violations,
+                m.firings_per_cycle, m.net_fires, m.net_toggles,
+            )
+            assert m.engine == engine
+        assert stats["levelized"] == stats["dataflow"]
+
+
+class TestEngineKnob:
+    def test_engine_values(self):
+        circuit = compile_ok(SIMPLE)
+        assert ENGINES == ("auto", "levelized", "dataflow")
+        sim = circuit.simulator()
+        assert sim.engine_requested == "auto"
+        assert sim.engine == "levelized"
+        assert circuit.simulator(engine="dataflow").engine == "dataflow"
+        assert circuit.simulator(engine="levelized").engine == "levelized"
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            compile_ok(SIMPLE).simulator(engine="warp")
+
+    def test_record_firing_uses_dataflow_order(self):
+        sim = compile_ok(SIMPLE).simulator(record_firing=True)
+        assert sim.engine == "dataflow"
+        assert sim.engine_reason
+
+    def test_cyclic_design_falls_back(self):
+        circuit = repro.compile_text(CYCLIC, strict=False)
+        sim = circuit.simulator(strict=False)
+        assert sim.engine == "dataflow"
+        assert "cycle" in sim.engine_reason
+
+    def test_forcing_levelized_on_cyclic_design_raises(self):
+        circuit = repro.compile_text(CYCLIC, strict=False)
+        with pytest.raises(SimulationError, match="levelized schedule"):
+            circuit.simulator(strict=False, engine="levelized")
+
+    def test_build_schedule_rejects_cycles(self):
+        circuit = repro.compile_text(CYCLIC, strict=False)
+        sim = circuit.simulator(strict=False)
+        with pytest.raises(ScheduleError):
+            build_schedule(sim)
+
+    def test_schedule_describe(self):
+        sim = compile_ok(SIMPLE).simulator()
+        text = sim._schedule.describe()
+        assert "ops" in text
+
+    def test_testbench_engine_knob(self):
+        circuit = compile_ok(SIMPLE)
+        tb = Testbench(circuit, engine="dataflow")
+        assert tb.sim.engine == "dataflow"
+        assert Testbench(circuit).sim.engine == "levelized"
+        # After reset r holds 0; a second enabled cycle brings r.out to
+        # 1, so y = AND(a, r.out) reads 1.
+        tb.reset().drive(a=1).clock(2)
+        tb.expect(y=1)
+
+
+class TestEngineCli:
+    def run(self, argv, capsys):
+        code = main(argv)
+        out = capsys.readouterr()
+        return code, out.out
+
+    def test_sim_engine_flag_in_report(self, tmp_path, capsys):
+        out_file = tmp_path / "m.json"
+        code, _ = self.run(
+            ["sim", "--builtin", "blackjack", "--cycles", "4",
+             "--engine", "dataflow", "--metrics", str(out_file)], capsys
+        )
+        assert code == 0
+        report = json.loads(out_file.read_text())
+        assert report["sim"]["engine"] == "dataflow"
+
+    def test_profile_reports_engine(self, tmp_path, capsys):
+        out_file = tmp_path / "m.json"
+        code, out = self.run(
+            ["profile", "--builtin", "adders", "--cycles", "4",
+             "--metrics", str(out_file)], capsys
+        )
+        assert code == 0
+        assert "simulation engine : levelized" in out
+        report = json.loads(out_file.read_text())
+        assert report["sim"]["engine"] == "levelized"
+
+    def test_sim_engine_output_independent(self, capsys):
+        outs = []
+        for engine in ("levelized", "dataflow"):
+            code, out = self.run(
+                ["sim", "--builtin", "mux4", "--cycles", "6",
+                 "--poke", "d=5", "--poke", "a=2", "--poke", "g=1",
+                 "--engine", engine], capsys
+            )
+            assert code == 0
+            outs.append(out)
+        assert outs[0] == outs[1]

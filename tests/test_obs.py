@@ -334,3 +334,46 @@ class TestProfileCli:
         )
         assert code == 0
         validate_report(json.loads(out_file.read_text()))
+
+
+class TestGateEvalAccounting:
+    def test_counts_only_real_evaluations(self):
+        # y = AND(a, s) with a=0 fires the AND immediately; s = NOT a
+        # arriving later re-notifies the fired gate, which must NOT be
+        # counted as another evaluation.
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            SIGNAL s: boolean;
+            BEGIN
+                s := NOT a;
+                y := AND(a, s)
+            END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator(metrics=True, engine="dataflow")
+        sim.poke("a", 0)
+        cycles = 5
+        sim.step(cycles)
+        m = sim.metrics
+        evals = dict(zip(m.gate_labels, m.gate_eval_counts))
+        fires = dict(zip(m.gate_labels, m.gate_fire_counts))
+        (and_label,) = [g for g in m.gate_labels if g.startswith("AND")]
+        assert fires[and_label] == cycles
+        assert evals[and_label] == cycles
+
+
+class TestEngineReporting:
+    def test_engine_in_metrics_and_report(self):
+        circuit, sim = counter_sim(metrics=True)
+        assert sim.metrics.engine == sim.engine == "levelized"
+        report = metrics_report(circuit, sim)
+        validate_report(report)
+        assert report["sim"]["engine"] == "levelized"
+        assert "engine" in sim.metrics.render()
+
+    def test_engine_survives_metrics_reset(self):
+        _, sim = counter_sim(metrics=True)
+        sim.reset_state()
+        assert sim.metrics.engine == "levelized"

@@ -411,3 +411,83 @@ def _cached_adder():
             compile_ok(programs.ripple_carry(8), top="adder")
         )
     return _ADDER_CACHE[0]
+
+
+class TestResetState:
+    SRC = """
+    TYPE t = COMPONENT (IN d: boolean; OUT q: boolean) IS
+    SIGNAL r: REG;
+    BEGIN r(d, q); END;
+    SIGNAL u: t;
+    """
+
+    def test_reset_state_clears_signal_values(self):
+        sim = compile_ok(self.SRC).simulator()
+        sim.poke("d", 1); sim.step()
+        assert str(sim.peek_bit("d")) == "1"
+        sim.reset_state()
+        # peek must not report values from the previous run.
+        assert str(sim.peek_bit("d")) == "UNDEF"
+        assert str(sim.peek_bit("q")) == "UNDEF"
+
+    def test_reset_state_drops_pokes(self):
+        sim = compile_ok(self.SRC).simulator()
+        sim.poke("d", 1); sim.step(2)
+        assert str(sim.peek_bit("q")) == "1"
+        sim.reset_state()
+        # The old d=1 poke must not leak into the fresh run.
+        sim.step(2)
+        assert str(sim.peek_bit("q")) == "UNDEF"
+        # Re-poking after the reset works as on a fresh simulator.
+        sim.poke("d", 1); sim.step(2)
+        assert str(sim.peek_bit("q")) == "1"
+
+
+class TestMultiBitEqual:
+    SRC = """
+    TYPE t = COMPONENT (IN sel: boolean; OUT y: boolean) IS
+    SIGNAL a, b: ARRAY [1..2] OF multiplex;
+    BEGIN
+        a[1] := 1;
+        b[1] := 0;
+        IF sel THEN a[2] := 1; b[2] := 1 END;
+        y := EQUAL(a, b)
+    END;
+    SIGNAL u: t;
+    """
+
+    @pytest.mark.parametrize("engine", ["levelized", "dataflow"])
+    def test_fires_zero_on_partial_mismatch(self, engine):
+        # Bit 1 differs (1 vs 0) while bit 2 is undefined when sel is
+        # not driven: the comparison is already settled to ZERO.
+        sim = compile_ok(self.SRC).simulator(engine=engine)
+        sim.step()
+        assert str(sim.peek_bit("y")) == "0"
+
+    @pytest.mark.parametrize("engine", ["levelized", "dataflow"])
+    def test_equal_bits_stay_undef_until_defined(self, engine):
+        src = self.SRC.replace("b[1] := 0", "b[1] := 1")
+        sim = compile_ok(src).simulator(engine=engine)
+        sim.step()
+        # Bits agree where defined but bit 2 is undefined: UNDEF.
+        assert str(sim.peek_bit("y")) == "UNDEF"
+        sim.poke("sel", 1); sim.step()
+        assert str(sim.peek_bit("y")) == "1"
+
+
+class TestNetsOfCache:
+    def test_cache_reused(self, halfadder_circuit):
+        sim = halfadder_circuit.simulator()
+        first = sim.nets_of("a")
+        assert sim.nets_of("a") is first
+        # Qualified and relative paths cache independently but resolve
+        # to the same nets.
+        assert sim.nets_of("h.a") == first
+
+    def test_cache_shared_with_trace(self, halfadder_circuit):
+        from repro.core.trace import Trace
+
+        sim = halfadder_circuit.simulator()
+        trace = Trace(["a", "s"])
+        sim.attach_trace(trace)
+        assert sim.nets_of("a") is sim._path_cache["a"]

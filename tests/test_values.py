@@ -119,6 +119,17 @@ class TestGateRules:
         assert equal_gate([L.UNDEF, L.ONE]) is L.UNDEF
         assert equal_gate([None, L.ONE]) is None
 
+    def test_equal_fires_zero_on_defined_mismatch(self):
+        # Section-8 firing rule: two defined, differing inputs settle
+        # the comparison -- unknown or undefined inputs cannot change it.
+        assert equal_gate([L.ONE, None, L.ZERO]) is L.ZERO
+        assert equal_gate([L.ONE, L.UNDEF, L.ZERO]) is L.ZERO
+        assert equal_gate([None, L.ZERO, L.ONE]) is L.ZERO
+        # No mismatch yet: stay unfired / undefined.
+        assert equal_gate([L.ONE, None, L.ONE]) is None
+        assert equal_gate([L.ONE, L.UNDEF, L.ONE]) is L.UNDEF
+        assert equal_gate([L.NOINFL, L.ONE]) is L.UNDEF
+
     def test_not(self):
         assert not_gate(L.ZERO) is L.ONE
         assert not_gate(L.ONE) is L.ZERO
