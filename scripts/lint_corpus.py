@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Lint the whole shipped corpus and enforce the prover's coverage bar.
+
+Targets: every bundled paper program (``repro.stdlib.programs``), every
+extra program (``repro.stdlib.extras``), every ``examples/zeus/*.zeus``
+file, and a deterministic fuzz corpus (the conflicting-driver shape from
+``tests/test_fuzz.py`` plus provably-exclusive variants).
+
+For each target a ``zeus.lint/1`` JSON report is written into ``--out``
+(the CI artifact), and the run **fails** when
+
+* a target outside ``KNOWN_CONFLICTING`` has a PROVED-CONFLICTING net
+  (a new way to burn transistors crept in),
+* a ``KNOWN_CONFLICTING`` target is *not* flagged anymore (the prover
+  lost a proof it used to have), or
+* the prover leaves any multi-driver net UNKNOWN anywhere in the corpus
+  (the acceptance bar: the corpus is fully classified).
+
+The known conflicts are real: each ships a witness assignment that
+reproduces the runtime multi-assignment violation (see
+``tests/test_lint.py::TestProverDifferential::test_stdlib_witnesses_replay``).
+They model environments that must not assert contradictory controls
+(``push`` and ``pop`` together, ``load`` and ``del`` together).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import repro  # noqa: E402
+from repro.lint import run_lint, write_lint_report  # noqa: E402
+from repro.stdlib import extras, programs  # noqa: E402
+
+#: Targets whose PROVED-CONFLICTING verdicts are expected and witnessed.
+KNOWN_CONFLICTING = {
+    "builtin-htree",       # both leaf halves drive a.out when a.in = 1
+    "builtin-section8",    # the paper's own section-8 conflict figure
+    "extra-dictionary",    # load + del asserted together
+    "extra-stack",         # push + pop asserted together
+    "example-htree",
+}
+KNOWN_CONFLICTING |= {f"fuzz-conflict-{n}" for n in range(2, 5)}
+
+
+def fuzz_corpus() -> dict[str, str]:
+    """Deterministic fuzz shapes: conflicting independent guards and
+    provably exclusive complementary/one-hot guards."""
+    out: dict[str, str] = {}
+    for n in range(2, 5):
+        ins = ", ".join(f"g{k}" for k in range(n))
+        stmts = "\n".join(
+            f"    IF g{k} THEN z := {k % 2} END;" for k in range(n))
+        out[f"fuzz-conflict-{n}"] = f"""
+TYPE t = COMPONENT (IN {ins}: boolean; OUT y: boolean; z: multiplex) IS
+BEGIN
+{stmts}
+    y := g0
+END;
+SIGNAL u: t;
+"""
+    out["fuzz-exclusive-not"] = """
+TYPE t = COMPONENT (IN s: boolean; OUT y: boolean; z: multiplex) IS
+BEGIN
+    IF s THEN z := 1 END;
+    IF NOT s THEN z := 0 END;
+    y := s
+END;
+SIGNAL u: t;
+"""
+    out["fuzz-exclusive-chain"] = """
+TYPE t = COMPONENT (IN a, b: boolean; OUT y: boolean; z: multiplex) IS
+BEGIN
+    IF AND(a, b) THEN z := 1 END;
+    IF AND(a, NOT b) THEN z := 0 END;
+    IF NOT a THEN z := 0 END;
+    y := a
+END;
+SIGNAL u: t;
+"""
+    return out
+
+
+def collect_targets(repo_root: str) -> dict[str, str]:
+    targets: dict[str, str] = {}
+    for name, text in sorted(programs.ALL_PROGRAMS.items()):
+        targets[f"builtin-{name}"] = text
+    for name, text in sorted(extras.EXTRA_PROGRAMS.items()):
+        targets[f"extra-{name}"] = text
+    for path in sorted(glob.glob(os.path.join(repo_root, "examples", "zeus",
+                                              "*.zeus"))):
+        stem = os.path.splitext(os.path.basename(path))[0]
+        with open(path, "r", encoding="utf-8") as f:
+            targets[f"example-{stem}"] = f.read()
+    targets.update(fuzz_corpus())
+    return targets
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="lint-out",
+                        help="directory for the per-target JSON reports")
+    args = parser.parse_args(argv)
+    os.makedirs(args.out, exist_ok=True)
+
+    repo_root = os.path.join(os.path.dirname(__file__), "..")
+    failures: list[str] = []
+    summary: dict[str, dict] = {}
+
+    for label, text in collect_targets(repo_root).items():
+        circuit = repro.compile_text(text, name=label, strict=False)
+        report = run_lint(circuit)
+        write_lint_report(os.path.join(args.out, f"{label}.lint.json"),
+                          report)
+        prover = report.prover
+        summary[label] = {
+            "errors": report.errors,
+            "warnings": report.warnings,
+            "nets_analyzed": len(prover.nets),
+            "proved_exclusive": prover.proved_exclusive,
+            "proved_conflicting": prover.proved_conflicting,
+            "unknown": prover.unknown,
+        }
+        conflicting = prover.proved_conflicting > 0
+        if conflicting and label not in KNOWN_CONFLICTING:
+            failures.append(
+                f"{label}: {prover.proved_conflicting} PROVED-CONFLICTING "
+                "net(s) outside the known-conflict set")
+        if not conflicting and label in KNOWN_CONFLICTING:
+            failures.append(
+                f"{label}: expected a PROVED-CONFLICTING verdict but the "
+                "prover no longer finds one")
+        if prover.unknown:
+            failures.append(
+                f"{label}: {prover.unknown} multi-driver net(s) left "
+                "UNKNOWN; the corpus must be fully classified")
+
+    with open(os.path.join(args.out, "summary.json"), "w",
+              encoding="utf-8") as f:
+        json.dump(summary, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    total = len(summary)
+    nets = sum(s["nets_analyzed"] for s in summary.values())
+    exclusive = sum(s["proved_exclusive"] for s in summary.values())
+    conflicting = sum(s["proved_conflicting"] for s in summary.values())
+    unknown = sum(s["unknown"] for s in summary.values())
+    print(f"linted {total} targets: {nets} multi-driver nets, "
+          f"{exclusive} exclusive, {conflicting} conflicting, "
+          f"{unknown} unknown")
+    for line in failures:
+        print(f"FAIL: {line}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,6 +3,9 @@
 Subcommands:
 
 * ``check FILE``     -- parse, elaborate and run all static checks;
+* ``lint FILE``      -- the ``zeuslint`` pass framework: the driver-
+  exclusivity prover plus the structural passes, with per-rule severity
+  overrides (``-W``/``-E``/``--disable``) and text/json/sarif output;
 * ``stats FILE``     -- netlist statistics after elaboration;
 * ``sim FILE``       -- simulate N cycles with optional pokes, print
   the requested signals per cycle (or write a VCD);
@@ -15,10 +18,14 @@ Subcommands:
 * ``examples``       -- list the bundled paper programs (usable with
   ``--builtin NAME`` instead of FILE everywhere).
 
-``check``, ``sim``, ``analyze`` and ``profile`` accept ``--metrics
-FILE`` to dump a machine-readable ``zeus.metrics/1`` JSON report
-(compile-phase spans, design stats, and -- where a simulation ran --
-the activity counters).  See ``docs/INTERNALS.md``, "Observability".
+``check``, ``lint``, ``sim``, ``analyze`` and ``profile`` accept
+``--metrics FILE`` to dump a machine-readable ``zeus.metrics/1`` JSON
+report (compile-phase spans, design stats, and -- where a simulation
+ran -- the activity counters).  See ``docs/INTERNALS.md``,
+"Observability".
+
+Exit codes for ``check`` and ``lint``: 0 clean, 1 warnings under
+``--werror``, 2 errors (including parse/elaboration failures).
 """
 
 from __future__ import annotations
@@ -107,6 +114,38 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("check", help="run all static checks")
     _add_common(p)
     _add_metrics(p)
+    p.add_argument("--werror", action="store_true",
+                   help="exit 1 when there are warnings")
+
+    p = sub.add_parser(
+        "lint", help="static analysis: driver-exclusivity prover + passes"
+    )
+    _add_common(p)
+    _add_metrics(p)
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text", help="report format (default text)")
+    p.add_argument("-o", "--output", metavar="FILE",
+                   help="write the report to FILE instead of stdout")
+    p.add_argument("-W", "--warn", action="append", default=[],
+                   metavar="RULE[=SEV]",
+                   help="set RULE's severity (default warning); SEV is "
+                        "error|warning|note|off; RULE may be 'all'")
+    p.add_argument("-E", "--error", action="append", default=[],
+                   metavar="RULE", help="promote RULE to an error")
+    p.add_argument("--disable", action="append", default=[],
+                   metavar="RULE", help="turn RULE off")
+    p.add_argument("--werror", action="store_true",
+                   help="exit 1 when there are warnings")
+    p.add_argument("--max-fanout", type=int, metavar="N",
+                   help="fanout-limit threshold (default 64)")
+    p.add_argument("--max-depth", type=int, metavar="N",
+                   help="logic-depth-limit threshold (default 128)")
+    p.add_argument("--prover-budget", type=int, metavar="N",
+                   help="case-split node budget per driver pair")
+    p.add_argument("--show-suppressed", action="store_true",
+                   help="include suppressed findings in text output")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list the registered lint rules and exit")
 
     p = sub.add_parser("stats", help="netlist statistics")
     _add_common(p)
@@ -163,6 +202,17 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
 
+    if args.cmd == "lint" and args.list_rules:
+        from .lint import RULES
+
+        for rule in sorted(RULES.values(), key=lambda r: r.code):
+            line = (f"{rule.code}  {rule.name:<20} "
+                    f"{rule.default_severity.name.lower():<8} {rule.summary}")
+            if rule.paper:
+                line += f" [paper {rule.paper}]"
+            print(line)
+        return 0
+
     # Capture this invocation's compile-phase spans on a fresh registry.
     registry = _spans.REGISTRY
     registry.reset()
@@ -170,18 +220,26 @@ def main(argv: list[str] | None = None) -> int:
         circuit = _load(args)
     except ZeusError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        # check/lint follow the exit-code contract: failures are errors.
+        return 2 if args.cmd in ("check", "lint") else 1
 
     if args.cmd == "check":
         for diag in circuit.diagnostics.diagnostics:
             print(diag.render(circuit.design.source))
         errors = len(circuit.diagnostics.errors)
-        print(f"{circuit.name}: {errors} error(s), "
-              f"{len(circuit.diagnostics.warnings)} warning(s)")
+        warnings = len(circuit.diagnostics.warnings)
+        print(f"{circuit.name}: {errors} error(s), {warnings} warning(s)")
         if args.metrics:
             write_metrics(args.metrics, metrics_report(circuit, registry=registry))
             print(f"wrote {args.metrics}")
-        return 1 if errors else 0
+        if errors:
+            return 2
+        if args.werror and warnings:
+            return 1
+        return 0
+
+    if args.cmd == "lint":
+        return _lint(args, circuit, registry)
 
     if args.cmd == "stats":
         print(circuit.netlist.describe())
@@ -270,6 +328,52 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"wrote {args.metrics}")
     return 0
+
+
+def _lint(args: argparse.Namespace, circuit: Circuit, registry) -> int:
+    """The ``zeusc lint`` body: build the config from the CLI flags, run
+    every enabled pass, render, honor the exit-code contract."""
+    from .lint import LintConfig, run_lint
+
+    config = LintConfig(werror=args.werror)
+    if args.max_fanout is not None:
+        config.max_fanout = args.max_fanout
+    if args.max_depth is not None:
+        config.max_depth = args.max_depth
+    if args.prover_budget is not None:
+        config.prover_budget = args.prover_budget
+    try:
+        for spec in args.warn:
+            rule, _, sev = spec.partition("=")
+            config.set_severity(rule.strip(), (sev or "warning").strip())
+        for rule in args.error:
+            config.set_severity(rule.strip(), "error")
+        for rule in args.disable:
+            config.set_severity(rule.strip(), "off")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    report = run_lint(circuit, config)
+    if args.format == "json":
+        text = report.render_json()
+    elif args.format == "sarif":
+        text = report.render_sarif()
+    else:
+        text = report.render_text(show_suppressed=args.show_suppressed) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    if args.metrics:
+        write_metrics(
+            args.metrics,
+            metrics_report(circuit, registry=registry, lint=report),
+        )
+        print(f"wrote {args.metrics}")
+    return report.exit_code()
 
 
 def _profile(args: argparse.Namespace, circuit: Circuit, registry) -> int:

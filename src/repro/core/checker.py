@@ -304,6 +304,20 @@ class Checker:
                 net.span,
                 phase="check",
             )
+        self._warn_write_only()
+
+    def _warn_write_only(self) -> None:
+        """Assigned-but-never-read warnings, delegated to the lint
+        framework's write-only pass so the checker and ``zeusc lint``
+        agree on the exclusions (ports, ``==``-alias dedup, synthetic
+        nets)."""
+        from ..lint.context import LintContext
+        from ..lint.model import LintConfig
+        from ..lint.passes import write_only_pass
+
+        ctx = LintContext(self.design)
+        for finding in write_only_pass(ctx, LintConfig()):
+            self.sink.warning(finding.message, finding.span, phase="check")
 
 
 def check(design: Design, strict: bool = True) -> DiagnosticSink:

@@ -436,6 +436,9 @@ class Program(Node):
     """``Hardware = {declaration}`` -- a whole Zeus text."""
 
     decls: list[Decl] = field(default_factory=list)
+    #: spans of all ``<* ... *>`` comments (lexer trivia), kept for the
+    #: lint suppression comments (:mod:`repro.lint.suppress`).
+    comments: list[Span] = field(default_factory=list)
 
     def constants(self) -> list[ConstDecl]:
         return [d for d in self.decls if isinstance(d, ConstDecl)]

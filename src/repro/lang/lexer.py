@@ -7,6 +7,11 @@ Turns source text into a list of :class:`~repro.lang.tokens.Token`.
   *octal* literal as in Modula-2 (``17B`` == 15);
 * comments: ``<* ... *>``, nesting allowed (Modula-2 convention);
 * all special symbols of the vocabulary, longest match first.
+
+Comments are trivia -- they produce no tokens -- but their spans are
+recorded on :attr:`Lexer.comments` so downstream tooling (the
+``zeuslint`` suppression comments, see :mod:`repro.lint.suppress`) can
+recover them without re-scanning.
 """
 
 from __future__ import annotations
@@ -27,6 +32,8 @@ class Lexer:
         self.source = source
         self.text = source.text
         self.pos = 0
+        #: spans of every ``<* ... *>`` comment scanned, in source order.
+        self.comments: list[Span] = []
 
     def tokens(self) -> list[Token]:
         """Scan the whole input and return all tokens plus a final EOF."""
@@ -71,6 +78,7 @@ class Lexer:
                 depth -= 1
                 self.pos += 2
                 if depth == 0:
+                    self.comments.append(Span(start, self.pos))
                     return
             else:
                 self.pos += 1
@@ -126,7 +134,15 @@ class Lexer:
 
 def tokenize(source: SourceText | str) -> list[Token]:
     """Convenience wrapper: scan *source* into a token list ending in EOF."""
+    return tokenize_with_comments(source)[0]
+
+
+def tokenize_with_comments(
+    source: SourceText | str,
+) -> tuple[list[Token], list[Span]]:
+    """Scan *source*; return the token list plus all comment spans."""
     from ..obs.spans import span
 
     with span("lex"):
-        return Lexer(source).tokens()
+        lexer = Lexer(source)
+        return lexer.tokens(), lexer.comments

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from . import ast
 from .errors import ParseError
-from .lexer import tokenize
+from .lexer import tokenize_with_comments
 from .source import SourceText, Span
 from .tokens import Token, TokenKind
 
@@ -88,7 +88,7 @@ class Parser:
         if isinstance(source, str):
             source = SourceText(source)
         self.source = source
-        self.toks = tokenize(source)
+        self.toks, self.comments = tokenize_with_comments(source)
         self.idx = 0
 
     # -- token helpers -------------------------------------------------------
@@ -133,7 +133,7 @@ class Parser:
         while not self.at(_K.EOF):
             decls.extend(self.parse_declaration())
         span = start.merge(self.tok.span) if decls else start
-        return ast.Program(decls, span=span)
+        return ast.Program(decls, comments=list(self.comments), span=span)
 
     def parse_declaration(self) -> list[ast.Decl]:
         if self.at(_K.CONST):

@@ -1,0 +1,576 @@
+"""The compile-time multiplex driver-exclusivity prover.
+
+The paper's strongest guarantee (sections 5, 8) is enforced at runtime:
+a net may receive at most one (0, 1, UNDEF) assignment per cycle, or the
+transistors burn.  This module proves, per pair of conditional drivers,
+whether that can ever happen -- for *all* inputs, before a single cycle
+is simulated.
+
+For each net with >= 2 deduplicated drivers, every driver pair is
+classified as one of
+
+* ``exclusive``   -- the two enable conditions can never both be 1
+  (PROVED-EXCLUSIVE: the runtime check can never fire for this pair);
+* ``conflicting`` -- a concrete witness assignment of primary inputs
+  makes both enables 1 while both sources drive a (0,1,UNDEF) value
+  (PROVED-CONFLICTING: the runtime check *will* fire on that input);
+* ``unknown``     -- neither could be established within budget; the
+  runtime check stays as the oracle.
+
+The proof engine layers three techniques over the guard cones:
+
+1. **constant folding** through the gate cone (a guard that folds to 0
+   or UNDEF can never arm its driver);
+2. **mutual-exclusion patterns**: complementary literals (``c`` vs
+   ``NOT c`` among the AND-factors of the two guards) and one-hot decode
+   (two ``EQUAL(sel, k)`` factors over the same selector with different
+   constants -- the shape the elaborator emits for ``x[NUM(a)]``);
+3. a **bounded case split** (mini-DPLL): enumerate assignments of the
+   union support with short-circuit evaluation and pruning, up to a
+   node budget, yielding either UNSAT (exclusive) or a witness.
+
+Soundness notes.  Evaluation is Kleene-monotone: a guard that evaluates
+to 1 under a partial two-valued assignment evaluates to 1 under every
+runtime refinement (UNDEF inputs can never *create* a 1), so UNSAT over
+{0,1} assignments really does imply runtime exclusivity.  Conversely a
+witness is only reported as a proved conflict when every assigned
+variable is a controllable primary input and both sources provably
+drive; anything weaker degrades to ``unknown``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.values import Logic
+from .context import DriverInfo, LintContext
+from .model import LintConfig
+
+# Expression nodes (hash-consed informally by the builder's memo):
+#   ("const", 0 | 1 | "U")
+#   ("var", key)            key = ("net", ci) | ("rand", gate_id)
+#   ("gate", op, args)      op in AND OR NAND NOR XOR NOT EQUAL
+
+_TRUE = ("const", 1)
+_FALSE = ("const", 0)
+_UNDEF = ("const", "U")
+
+_LOGIC_TO_VAL = {Logic.ZERO: 0, Logic.ONE: 1, Logic.UNDEF: "U"}
+
+
+class ConeBuilder:
+    """Builds boolean expressions for net classes by tracing the gate
+    cone back to *support variables*: primary inputs, register outputs,
+    RANDOM sources, and nets the builder cannot model precisely
+    (multi-driven, cyclic, or oversized cones)."""
+
+    def __init__(self, ctx: LintContext, max_nodes: int = 5000):
+        self.ctx = ctx
+        self.max_nodes = max_nodes
+        self.nodes = 0
+        self._memo: dict[int, tuple] = {}
+        self._building: set[int] = set()
+        #: var key -> kind: input | reg | random | opaque | cyclic | undriven
+        self.var_kinds: dict[tuple, str] = {}
+        self._support_memo: dict[int, tuple] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def expr(self, ci: int) -> tuple:
+        cached = self._memo.get(ci)
+        if cached is not None:
+            return cached
+        if ci in self._building:
+            return self._var(("net", ci), "cyclic")
+        self._building.add(ci)
+        try:
+            e = self._build(ci)
+        finally:
+            self._building.discard(ci)
+        self._memo[ci] = e
+        return e
+
+    def _var(self, key: tuple, kind: str) -> tuple:
+        self.var_kinds.setdefault(key, kind)
+        return ("var", key)
+
+    def _build(self, ci: int) -> tuple:
+        ctx = self.ctx
+        if ctx.is_input[ci]:
+            return self._var(("net", ci), "input")
+        if ci in ctx.reg_q_of:
+            return self._var(("net", ci), "reg")
+        gates = ctx.gates_of.get(ci, [])
+        drivers = ctx.drivers_of[ci]
+        if len(gates) == 1 and not drivers:
+            return self._gate_expr(gates[0])
+        if not gates and len(drivers) == 1 and drivers[0].uncond:
+            drv = drivers[0]
+            if drv.const is not None:
+                val = _LOGIC_TO_VAL.get(drv.const)
+                # A NOINFL constant reads as UNDEF through the implicit
+                # amplifier (section 3.2), and UNDEF can never become 1.
+                return ("const", val if val is not None else "U")
+            return self.expr(drv.src)
+        if not gates and not drivers:
+            return self._var(("net", ci), "undriven")
+        return self._var(("net", ci), "opaque")
+
+    def _gate_expr(self, gate) -> tuple:
+        if gate.op == "RANDOM":
+            return self._var(("rand", gate.id), "random")
+        self.nodes += 1
+        if self.nodes > self.max_nodes:
+            return self._var(("net", self.ctx.idx(gate.output)), "opaque")
+        args = tuple(self.expr(self.ctx.idx(i)) for i in gate.inputs)
+        return ("gate", gate.op, args)
+
+    # -- support -------------------------------------------------------------
+
+    def support(self, expr: tuple) -> tuple:
+        """All var keys reachable from *expr*, in deterministic order."""
+        cached = self._support_memo.get(id(expr))
+        if cached is not None:
+            return cached
+        out: list[tuple] = []
+        seen_vars: set[tuple] = set()
+        seen_nodes: set[int] = set()
+        stack = [expr]
+        while stack:
+            e = stack.pop()
+            if id(e) in seen_nodes:
+                continue
+            seen_nodes.add(id(e))
+            tag = e[0]
+            if tag == "var":
+                if e[1] not in seen_vars:
+                    seen_vars.add(e[1])
+                    out.append(e[1])
+            elif tag == "gate":
+                stack.extend(e[2])
+        out.sort()
+        result = tuple(out)
+        self._support_memo[id(expr)] = result
+        return result
+
+
+def eval_expr(expr: tuple, asn: dict, memo: dict | None = None):
+    """Evaluate under a partial two-valued assignment.
+
+    Returns 0, 1, ``"U"`` (undefined at runtime), or None (still depends
+    on unassigned variables).  Short-circuits exactly like the section-8
+    firing rules, which is what makes the case split prune well."""
+    if memo is None:
+        memo = {}
+    return _eval(expr, asn, memo)
+
+
+def _eval(e: tuple, asn: dict, memo: dict):
+    tag = e[0]
+    if tag == "const":
+        return e[1]
+    if tag == "var":
+        return asn.get(e[1])
+    key = id(e)
+    if key in memo:
+        return memo[key]
+    op = e[1]
+    args = e[2]
+    vals = [_eval(a, asn, memo) for a in args]
+    out = _apply(op, vals)
+    memo[key] = out
+    return out
+
+
+def _apply(op: str, vals: list):
+    if op == "NOT":
+        v = vals[0]
+        if v == 0:
+            return 1
+        if v == 1:
+            return 0
+        return v  # "U" or None
+    if op in ("AND", "NAND"):
+        if any(v == 0 for v in vals):
+            out = 0
+        elif any(v is None for v in vals):
+            out = None
+        elif any(v == "U" for v in vals):
+            out = "U"
+        else:
+            out = 1
+        return out if op == "AND" else _negate(out)
+    if op in ("OR", "NOR"):
+        if any(v == 1 for v in vals):
+            out = 1
+        elif any(v is None for v in vals):
+            out = None
+        elif any(v == "U" for v in vals):
+            out = "U"
+        else:
+            out = 0
+        return out if op == "OR" else _negate(out)
+    if op == "XOR":
+        if any(v is None for v in vals):
+            return None
+        if any(v == "U" for v in vals):
+            return "U"
+        return sum(vals) % 2
+    if op == "EQUAL":
+        half = len(vals) // 2
+        unknown = undef = False
+        for x, y in zip(vals[:half], vals[half:]):
+            if x in (0, 1) and y in (0, 1):
+                if x != y:
+                    return 0  # settled, whatever the rest holds
+            elif x is None or y is None:
+                unknown = True
+            else:
+                undef = True
+        if unknown:
+            return None
+        return "U" if undef else 1
+    raise ValueError(f"prover cannot model gate op {op!r}")
+
+
+def _negate(v):
+    if v == 0:
+        return 1
+    if v == 1:
+        return 0
+    return v
+
+
+def and_factors(e: tuple) -> list[tuple]:
+    """Flatten an AND-tree into its conjunction factors."""
+    if e[0] == "gate" and e[1] == "AND":
+        out: list[tuple] = []
+        for a in e[2]:
+            out.extend(and_factors(a))
+        return out
+    return [e]
+
+
+def _literal(e: tuple):
+    """(key, polarity) for ``v`` / ``NOT v`` factors, else None."""
+    if e[0] == "var":
+        return (e[1], True)
+    if e[0] == "gate" and e[1] == "NOT" and e[2][0][0] == "var":
+        return (e[2][0][1], False)
+    return None
+
+
+def _equal_const_map(e: tuple) -> dict | None:
+    """For an EQUAL factor, map each non-constant operand expression to
+    the constant it is compared against (positions where exactly one
+    side is a 0/1 constant)."""
+    if e[0] != "gate" or e[1] != "EQUAL":
+        return None
+    args = e[2]
+    half = len(args) // 2
+    out: dict = {}
+    for x, y in zip(args[:half], args[half:]):
+        for a, b in ((x, y), (y, x)):
+            if b[0] == "const" and b[1] in (0, 1) and a[0] != "const":
+                out[a] = b[1]
+    return out
+
+
+@dataclass
+class PairVerdict:
+    """Classification of one driver pair of one net."""
+
+    a: int  # driver indices into the net's driver list
+    b: int
+    verdict: str  # "exclusive" | "conflicting" | "unknown"
+    reason: str
+    witness: dict[str, int] | None = None
+
+    def to_dict(self) -> dict:
+        d = {"a": self.a, "b": self.b, "verdict": self.verdict,
+             "reason": self.reason}
+        if self.witness is not None:
+            d["witness"] = dict(self.witness)
+        return d
+
+
+@dataclass
+class NetResult:
+    """Prover outcome for one multi-driver net."""
+
+    ci: int
+    net: str
+    drivers: int
+    verdict: str  # "exclusive" | "conflicting" | "unknown"
+    pairs: list[PairVerdict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "net": self.net,
+            "drivers": self.drivers,
+            "verdict": self.verdict,
+            "pairs": [p.to_dict() for p in self.pairs],
+        }
+
+
+@dataclass
+class ProverResult:
+    nets: list[NetResult] = field(default_factory=list)
+
+    @property
+    def proved_exclusive(self) -> int:
+        return sum(1 for n in self.nets if n.verdict == "exclusive")
+
+    @property
+    def proved_conflicting(self) -> int:
+        return sum(1 for n in self.nets if n.verdict == "conflicting")
+
+    @property
+    def unknown(self) -> int:
+        return sum(1 for n in self.nets if n.verdict == "unknown")
+
+    def to_dict(self) -> dict:
+        return {
+            "nets_analyzed": len(self.nets),
+            "proved_exclusive": self.proved_exclusive,
+            "proved_conflicting": self.proved_conflicting,
+            "unknown": self.unknown,
+            "nets": [n.to_dict() for n in self.nets],
+        }
+
+
+class _BudgetExceeded(Exception):
+    pass
+
+
+class Prover:
+    """Runs the driver-exclusivity proof over one design."""
+
+    def __init__(self, ctx: LintContext, config: LintConfig | None = None):
+        self.ctx = ctx
+        self.config = config or LintConfig()
+        self.builder = ConeBuilder(ctx)
+        self._drives_memo: dict[int, bool] = {}
+
+    # -- guard expressions ---------------------------------------------------
+
+    def guard_expr(self, drv: DriverInfo) -> tuple:
+        if drv.cond is None:
+            return _TRUE
+        return self.builder.expr(drv.cond)
+
+    def fold_guard(self, drv: DriverInfo):
+        """Constant-fold a driver's guard: 0/1/"U" or None (not const)."""
+        return eval_expr(self.guard_expr(drv), {})
+
+    def guard_can_fire(self, drv: DriverInfo) -> bool | None:
+        """Can the guard ever evaluate to 1?  False is a proof (by
+        Kleene monotonicity it covers UNDEF inputs too, so e.g.
+        ``AND(a, NOT a)`` is provably dead); None means the case split
+        was out of budget."""
+        g = self.guard_expr(drv)
+        folded = eval_expr(g, {})
+        if folded is not None:
+            return folded == 1
+        support = list(self.builder.support(g))
+        if len(support) > self.config.prover_max_support:
+            return None
+        try:
+            return self._cosat(g, _TRUE, support) is not None
+        except _BudgetExceeded:
+            return None
+
+    # -- definitely-driving sources -----------------------------------------
+
+    def source_drives(self, drv: DriverInfo) -> bool:
+        """True when the driver's source provably contributes a
+        (0,1,UNDEF) value whenever the guard is 1 (a NOINFL source never
+        trips the runtime check, so it cannot be a proved conflict)."""
+        if drv.const is not None:
+            return drv.const is not Logic.NOINFL
+        return self._net_drives(drv.src, set())
+
+    def _net_drives(self, ci: int, visiting: set[int]) -> bool:
+        memo = self._drives_memo
+        if ci in memo:
+            return memo[ci]
+        if ci in visiting:
+            return False
+        visiting.add(ci)
+        ctx = self.ctx
+        out = False
+        if ctx.is_input[ci] or ci in ctx.reg_q_of or ci in ctx.gates_of:
+            # Inputs fire UNDEF when unpoked, registers fire their state,
+            # gates fire 0/1/UNDEF: all are driving values.
+            out = True
+        else:
+            for d in ctx.drivers_of[ci]:
+                if not d.uncond:
+                    continue
+                if d.const is not None:
+                    if d.const is not Logic.NOINFL:
+                        out = True
+                        break
+                elif self._net_drives(d.src, visiting):
+                    out = True
+                    break
+        visiting.discard(ci)
+        memo[ci] = out
+        return out
+
+    # -- pair classification -------------------------------------------------
+
+    def classify_pair(self, da: DriverInfo, db: DriverInfo) -> PairVerdict:
+        ga, gb = self.guard_expr(da), self.guard_expr(db)
+
+        # 1. constant folding.
+        fa, fb = eval_expr(ga, {}), eval_expr(gb, {})
+        for f in (fa, fb):
+            if f == 0:
+                return PairVerdict(da.index, db.index, "exclusive",
+                                   "a guard is constant 0 (dead driver)")
+            if f == "U":
+                return PairVerdict(
+                    da.index, db.index, "exclusive",
+                    "a guard is constant UNDEF (may-drive only poisons; "
+                    "the runtime multi-driver check never counts it)")
+
+        # 2a. complementary literals across the AND-factors.
+        factors_a, factors_b = and_factors(ga), and_factors(gb)
+        lits_a = {lit for f in factors_a if (lit := _literal(f))}
+        lits_b = {lit for f in factors_b if (lit := _literal(f))}
+        for key, pol in lits_a:
+            if (key, not pol) in lits_b:
+                name = self._var_name(key)
+                return PairVerdict(
+                    da.index, db.index, "exclusive",
+                    f"complementary literals on {name!r}")
+        # ... and structural complements of whole factors (c vs NOT c).
+        set_a = set(factors_a)
+        for f in factors_b:
+            complementary = (
+                (f[0] == "gate" and f[1] == "NOT" and f[2][0] in set_a)
+                or ("gate", "NOT", (f,)) in set_a
+            )
+            if complementary:
+                return PairVerdict(da.index, db.index, "exclusive",
+                                   "complementary guard factors")
+
+        # 2b. one-hot decode: EQUAL over the same selector, different
+        # constants (the x[NUM(sel)] shape).
+        eq_maps_a = [m for f in factors_a if (m := _equal_const_map(f))]
+        eq_maps_b = [m for f in factors_b if (m := _equal_const_map(f))]
+        for ma in eq_maps_a:
+            for mb in eq_maps_b:
+                for expr_key, ca in ma.items():
+                    cb = mb.get(expr_key)
+                    if cb is not None and cb != ca:
+                        return PairVerdict(
+                            da.index, db.index, "exclusive",
+                            "one-hot decode: EQUAL on the same selector "
+                            "with different constants")
+
+        # 3. bounded case split over the union support.
+        support = sorted(set(self.builder.support(ga))
+                         | set(self.builder.support(gb)))
+        if len(support) > self.config.prover_max_support:
+            return PairVerdict(
+                da.index, db.index, "unknown",
+                f"guard support has {len(support)} variables "
+                f"(> {self.config.prover_max_support}); runtime check "
+                "remains the oracle")
+        try:
+            witness = self._cosat(ga, gb, support)
+        except _BudgetExceeded:
+            return PairVerdict(
+                da.index, db.index, "unknown",
+                f"case-split budget of {self.config.prover_budget} "
+                "exhausted; runtime check remains the oracle")
+        if witness is None:
+            return PairVerdict(
+                da.index, db.index, "exclusive",
+                f"case split over {len(support)} variable(s) found no "
+                "co-enabling assignment")
+        named = {self._var_name(k): v for k, v in witness.items()}
+        uncontrolled = [self._var_name(k) for k, v in witness.items()
+                        if self.builder.var_kinds.get(k) != "input"]
+        if uncontrolled:
+            return PairVerdict(
+                da.index, db.index, "unknown",
+                "guards are co-satisfiable but the witness needs "
+                f"non-input state ({', '.join(sorted(uncontrolled))}); "
+                "runtime check remains the oracle", named)
+        if not (self.source_drives(da) and self.source_drives(db)):
+            return PairVerdict(
+                da.index, db.index, "unknown",
+                "guards can both be 1 but a source may float (NOINFL); "
+                "runtime check remains the oracle", named)
+        return PairVerdict(
+            da.index, db.index, "conflicting",
+            "both drivers enabled under the witness assignment", named)
+
+    def _cosat(self, ga: tuple, gb: tuple, support: list) -> dict | None:
+        """DPLL-style search for an assignment with ga = gb = 1."""
+        budget = self.config.prover_budget
+        asn: dict = {}
+        nodes = 0
+
+        def rec() -> dict | None:
+            nonlocal nodes
+            nodes += 1
+            if nodes > budget:
+                raise _BudgetExceeded
+            va = eval_expr(ga, asn)
+            if va in (0, "U"):
+                return None
+            vb = eval_expr(gb, asn)
+            if vb in (0, "U"):
+                return None
+            if va == 1 and vb == 1:
+                return dict(asn)
+            var = next(v for v in support if v not in asn)
+            for val in (1, 0):
+                asn[var] = val
+                hit = rec()
+                if hit is not None:
+                    return hit
+                del asn[var]
+            return None
+
+        return rec()
+
+    def _var_name(self, key: tuple) -> str:
+        if key[0] == "net":
+            return self.ctx.display[key[1]]
+        return f"$random{key[1]}"
+
+    # -- whole-net / whole-design -------------------------------------------
+
+    def classify_net(self, ci: int) -> NetResult:
+        drivers = self.ctx.drivers_of[ci]
+        pairs: list[PairVerdict] = []
+        budget_pairs = self.config.prover_max_pairs
+        examined = 0
+        for i in range(len(drivers)):
+            for j in range(i + 1, len(drivers)):
+                if examined >= budget_pairs:
+                    pairs.append(PairVerdict(
+                        i, j, "unknown",
+                        f"pair budget of {budget_pairs} exhausted"))
+                    continue
+                examined += 1
+                pairs.append(self.classify_pair(drivers[i], drivers[j]))
+        if any(p.verdict == "conflicting" for p in pairs):
+            verdict = "conflicting"
+        elif any(p.verdict == "unknown" for p in pairs):
+            verdict = "unknown"
+        else:
+            verdict = "exclusive"
+        return NetResult(ci, self.ctx.display[ci], len(drivers),
+                         verdict, pairs)
+
+    def run(self) -> ProverResult:
+        result = ProverResult()
+        for ci in self.ctx.multi_driver_classes():
+            result.nets.append(self.classify_net(ci))
+        return result

@@ -1,0 +1,78 @@
+"""Inline lint suppression comments.
+
+Zeus comments are lexer trivia (``<* ... *>``); the lexer records their
+spans (see :mod:`repro.lang.lexer`) and the parser stashes them on
+``Program.comments``.  A comment of the form ::
+
+    <* lint: off *>                      suppress every rule
+    <* lint: off write-only *>           suppress one rule
+    <* lint: off write-only, dead-driver *>
+
+suppresses findings anchored on the **line the comment starts on**; when
+the comment is the only thing on its line, it applies to the **next
+line** instead (the pragma-above-the-statement style).  ``zeuslint:`` is
+accepted as an alias of ``lint:``.
+
+Suppressed findings are not dropped: they stay in the report flagged
+``suppressed`` (and are excluded from the error/warning counts and the
+default text rendering), so ``--format json`` consumers can audit them.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..lang.source import SourceText, Span
+from .model import Finding
+
+_PRAGMA = re.compile(
+    r"<\*\s*(?:zeus)?lint\s*:\s*off\b([^*]*)\*>", re.IGNORECASE)
+
+#: Sentinel meaning "all rules" in a suppression set.
+ALL_RULES = "*"
+
+
+def parse_suppressions(
+    source: SourceText, comments: list[Span]
+) -> dict[int, set[str]]:
+    """Map 1-based line number -> set of suppressed rule names
+    (:data:`ALL_RULES` suppresses everything on that line)."""
+    out: dict[int, set[str]] = {}
+    for span in comments:
+        text = source.snippet(span)
+        m = _PRAGMA.match(text.strip())
+        if m is None:
+            continue
+        rules = {r.strip() for r in re.split(r"[,\s]+", m.group(1)) if r.strip()}
+        if not rules:
+            rules = {ALL_RULES}
+        line = source.position(span.start).line
+        before = source.line_text(line)[: source.position(span.start).column - 1]
+        if not before.strip():
+            # The comment opens its line: it governs the next line.
+            line += 1
+        out.setdefault(line, set()).update(rules)
+    return out
+
+
+def apply_suppressions(
+    findings: list[Finding],
+    source: SourceText | None,
+    comments: list[Span],
+) -> int:
+    """Mark suppressed findings in place; returns how many were hit."""
+    if source is None or not comments:
+        return 0
+    by_line = parse_suppressions(source, comments)
+    if not by_line:
+        return 0
+    count = 0
+    for finding in findings:
+        if not finding.span.length:
+            continue
+        line = source.position(finding.span.start).line
+        rules = by_line.get(line)
+        if rules and (ALL_RULES in rules or finding.rule in rules):
+            finding.suppressed = True
+            count += 1
+    return count

@@ -21,6 +21,12 @@ A report is a plain JSON object:
         "nets":  [{"name", "toggles", "fires"}, ...],
         "gates": [{"name", "evals", "fires"}, ...]
       },
+      "lint": {                         # omitted if lint did not run
+        "errors", "warnings", "notes", "suppressed",
+        "by_rule": {rule: count},
+        "prover": {"nets_analyzed", "proved_exclusive",
+                   "proved_conflicting", "unknown"}   # omitted if off
+      },
       "wall": {"elapsed_s", "cycles_per_s"}   # omitted without timing
     }
 
@@ -49,6 +55,7 @@ def metrics_report(
     *,
     elapsed: float | None = None,
     top: int | None = None,
+    lint=None,
 ) -> dict:
     """Assemble the full ``zeus.metrics/1`` report dict."""
     stats = circuit.netlist.stats()
@@ -70,6 +77,22 @@ def metrics_report(
         }
     if sim is not None and sim.metrics.enabled:
         report["sim"] = sim.metrics.to_dict(top=top)
+    if lint is not None:
+        section = {
+            "errors": lint.errors,
+            "warnings": lint.warnings,
+            "notes": lint.notes,
+            "suppressed": lint.suppressed,
+            "by_rule": lint.by_rule(),
+        }
+        if lint.prover is not None:
+            section["prover"] = {
+                "nets_analyzed": len(lint.prover.nets),
+                "proved_exclusive": lint.prover.proved_exclusive,
+                "proved_conflicting": lint.prover.proved_conflicting,
+                "unknown": lint.prover.unknown,
+            }
+        report["lint"] = section
     if elapsed is not None:
         cycles = sim.metrics.cycles if sim is not None else 0
         report["wall"] = {
@@ -149,6 +172,22 @@ def validate_report(report: dict) -> None:
             need(gate, "name", str, "sim.gates[]")
             need(gate, "evals", int, "sim.gates[]")
             need(gate, "fires", int, "sim.gates[]")
+
+    if "lint" in report:
+        lint = need(report, "lint", dict, "report")
+        for key in ("errors", "warnings", "notes", "suppressed"):
+            need(lint, key, int, "lint")
+        by_rule = need(lint, "by_rule", dict, "lint")
+        for rule, count in by_rule.items():
+            if not isinstance(count, int):
+                raise ValueError(
+                    f"metrics report: lint.by_rule[{rule!r}] must be int"
+                )
+        if "prover" in lint:
+            prover = need(lint, "prover", dict, "lint")
+            for key in ("nets_analyzed", "proved_exclusive",
+                        "proved_conflicting", "unknown"):
+                need(prover, key, int, "lint.prover")
 
     if "wall" in report:
         wall = need(report, "wall", dict, "report")

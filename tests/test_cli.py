@@ -33,14 +33,14 @@ class TestCheck:
             "SIGNAL u: t;\n"
         )
         code, out, _ = run(["check", "--lenient", str(bad)], capsys)
-        assert code == 1
+        assert code == 2
         assert "unconditional" in out
 
     def test_syntax_error_exit_code(self, tmp_path, capsys):
         bad = tmp_path / "syn.zeus"
         bad.write_text("TYPE = ;")
         code, _, err = run(["check", str(bad)], capsys)
-        assert code == 1
+        assert code == 2
         assert "error" in err
 
     def test_unknown_builtin(self, capsys):

@@ -128,3 +128,93 @@ BEGIN inner.a := a; y := inner.y END;
 SIGNAL u: loop(1);
 """
             )
+
+
+class TestDiagnosticSink:
+    def _sink(self):
+        from repro.lang.errors import DiagnosticSink
+
+        return DiagnosticSink()
+
+    def test_preserves_emission_order(self):
+        sink = self._sink()
+        sink.warning("first")
+        sink.error("second")
+        sink.warning("third")
+        assert [d.message for d in sink.diagnostics] == [
+            "first", "second", "third"]
+
+    def test_errors_and_warnings_filter_by_severity(self):
+        sink = self._sink()
+        sink.warning("w1")
+        sink.error("e1")
+        sink.warning("w2")
+        assert [d.message for d in sink.errors] == ["e1"]
+        assert [d.message for d in sink.warnings] == ["w1", "w2"]
+
+    def test_has_errors(self):
+        sink = self._sink()
+        assert not sink.has_errors()
+        sink.warning("just a warning")
+        assert not sink.has_errors()
+        sink.error("boom")
+        assert sink.has_errors()
+
+    def test_strict_sink_raises_on_error_not_warning(self):
+        from repro.lang.errors import DiagnosticSink
+
+        sink = DiagnosticSink(strict=True)
+        sink.warning("fine")
+        with pytest.raises(CheckError, match="boom"):
+            sink.error("boom")
+
+    def test_render_joins_all_diagnostics(self):
+        sink = self._sink()
+        sink.error("one", phase="check")
+        sink.warning("two")
+        rendered = sink.render()
+        assert "[check] error: one" in rendered
+        assert "warning: two" in rendered
+
+
+class TestDiagnosticRender:
+    def test_no_span_renders_without_location(self):
+        from repro.lang.errors import Diagnostic, Severity
+        from repro.lang.source import NO_SPAN
+
+        source = SourceText("SIGNAL a: boolean;", name="x.zeus")
+        diag = Diagnostic(Severity.ERROR, "design-wide problem", NO_SPAN)
+        rendered = diag.render(source)
+        assert rendered == "error: design-wide problem"
+        assert "x.zeus" not in rendered
+
+    def test_span_renders_caret_diagram(self):
+        from repro.lang.errors import Diagnostic, Severity
+        from repro.lang.source import Span
+
+        source = SourceText("SIGNAL ghost: boolean;", name="x.zeus")
+        span = Span(7, 12)  # "ghost"
+        rendered = Diagnostic(
+            Severity.WARNING, "spooky", span).render(source)
+        assert rendered.startswith("x.zeus:1:8: warning: spooky\n")
+        assert "SIGNAL ghost: boolean;" in rendered
+        assert rendered.endswith("       ^^^^^")
+
+    def test_multi_line_span_clamps_to_first_line(self):
+        from repro.lang.errors import Diagnostic, Severity
+        from repro.lang.source import Span
+
+        source = SourceText("ab\ncdef\n", name="m.zeus")
+        span = Span(0, 7)  # covers both lines
+        rendered = Diagnostic(Severity.ERROR, "wide", span).render(source)
+        lines = rendered.splitlines()
+        assert lines[0] == "m.zeus:1:1: error: wide"
+        assert lines[1] == "ab"
+        assert lines[2] == "^^"  # carets never spill past the line
+
+    def test_render_without_source_omits_location(self):
+        from repro.lang.errors import Diagnostic, Severity
+        from repro.lang.source import Span
+
+        diag = Diagnostic(Severity.NOTE, "hint", Span(0, 2), phase="lint")
+        assert diag.render(None) == "[lint] note: hint"

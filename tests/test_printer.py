@@ -11,12 +11,12 @@ from repro.stdlib import extras, programs
 
 
 def ast_equal(a, b) -> bool:
-    """Structural AST equality ignoring spans."""
+    """Structural AST equality ignoring lexical trivia (spans, comments)."""
     if type(a) is not type(b):
         return False
     if isinstance(a, ast.Node):
         for field in vars(a):
-            if field == "span":
+            if field in ("span", "comments"):
                 continue
             if not ast_equal(getattr(a, field), getattr(b, field)):
                 return False
