@@ -1,0 +1,147 @@
+"""Formal-verification benchmark driver: solver cost vs. simulation.
+
+Two questions the zeusprove subsystem should answer with numbers, not
+vibes:
+
+* **BMC depth scaling** -- how does bounded model checking of the
+  blackjack dealer (the repo's densest sequential design) scale with
+  unrolling depth?  Reports wall-time, decisions, and expression nodes
+  per depth, and whether the run completed or exhausted its budget.
+* **Miter vs. co-simulation crossover** -- for the paper's
+  rippleCarry(n) family, at what width does one formal miter proof
+  beat exhaustively co-simulating all 2^(2n+1) input vectors?
+
+Writes a ``zeus.bench.formal/1`` summary (default
+``BENCH_formal.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_formal.py \
+        --depths 0 1 2 --widths 2 4 6 8 --out BENCH_formal.json
+
+Used by the CI prove-smoke job with small depths/widths, and by hand
+to refresh the committed numbers in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import repro
+from repro.analysis import exhaustive_equivalent
+from repro.formal import FormalConfig, check_equivalence, prove
+from repro.stdlib import programs
+
+BENCH_SCHEMA = "zeus.bench.formal/1"
+
+
+def _proof_row(report, elapsed: float) -> dict:
+    return {
+        "verdict": report.verdict,
+        "elapsed_s": elapsed,
+        "clauses": report.clauses,
+        "decisions": report.stats.decisions,
+        "sat_calls": report.stats.sat_calls,
+        "depth_reached": report.depth_reached,
+        "budget_exhausted": report.stats.budget_exhausted,
+    }
+
+
+def bench_bmc_depths(depths, budget):
+    """BMC the blackjack FSM at each depth (induction off: this measures
+    the unrolling, not the fixed-point search)."""
+    circuit = repro.compile_text(programs.BLACKJACK, strict=False)
+    rows = {}
+    for depth in depths:
+        cfg = FormalConfig(depth=depth, budget=budget, induction=False)
+        t0 = time.perf_counter()
+        report = prove(circuit, ["no-conflict"], cfg)
+        rows[str(depth)] = _proof_row(report, time.perf_counter() - t0)
+    return rows
+
+
+def bench_miter_crossover(widths, budget):
+    """Formal miter vs. exhaustive co-simulation on rippleCarry(n) pairs
+    (self-equivalence: both methods must answer "equivalent")."""
+    rows = {}
+    for width in widths:
+        a = repro.compile_text(programs.ripple_carry(width), top="adder")
+        b = repro.compile_text(programs.ripple_carry(width), top="adder")
+        cfg = FormalConfig(budget=budget)
+
+        t0 = time.perf_counter()
+        formal = check_equivalence(a, b, cfg)
+        formal_s = time.perf_counter() - t0
+
+        bits = 2 * width + 1
+        t0 = time.perf_counter()
+        cosim = exhaustive_equivalent(a, b, max_bits=bits)
+        cosim_s = time.perf_counter() - t0
+
+        if formal.verdict != "proved" or not cosim.equivalent:
+            raise RuntimeError(
+                f"width {width}: formal={formal.verdict} "
+                f"cosim={cosim.equivalent}")
+        rows[str(width)] = {
+            "input_bits": bits,
+            "formal": _proof_row(formal, formal_s),
+            "cosim": {"elapsed_s": cosim_s,
+                      "vectors": cosim.vectors_checked},
+            "formal_speedup": (cosim_s / formal_s) if formal_s else 0.0,
+        }
+    return rows
+
+
+def run_benchmarks(depths, widths, budget):
+    return {
+        "schema": BENCH_SCHEMA,
+        "bmc_blackjack": bench_bmc_depths(depths, budget),
+        "miter_vs_cosim_ripple": bench_miter_crossover(widths, budget),
+    }
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--depths", type=int, nargs="+", default=[0, 1, 2],
+                    help="BMC unrolling depths to time (default 0 1 2)")
+    ap.add_argument("--widths", type=int, nargs="+", default=[2, 4, 6, 8],
+                    help="rippleCarry widths to time (default 2 4 6 8)")
+    ap.add_argument("--budget", type=int, default=50_000,
+                    help="solver decision budget per run (default 50000)")
+    ap.add_argument("--out", default="BENCH_formal.json",
+                    help="summary JSON path (default BENCH_formal.json)")
+    args = ap.parse_args(argv)
+
+    summary = run_benchmarks(args.depths, args.widths, args.budget)
+
+    for depth, row in summary["bmc_blackjack"].items():
+        print(f"bmc blackjack depth {depth}: {row['verdict']:>8s}  "
+              f"{row['elapsed_s']:8.3f}s  {row['decisions']:>8d} decisions"
+              f"{'  (budget exhausted)' if row['budget_exhausted'] else ''}")
+    for width, row in summary["miter_vs_cosim_ripple"].items():
+        print(f"ripple({width}) miter {row['formal']['elapsed_s']:8.3f}s  "
+              f"cosim {row['cosim']['elapsed_s']:8.3f}s "
+              f"({row['cosim']['vectors']} vectors)  "
+              f"speedup {row['formal_speedup']:.1f}x")
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(summary, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+# -- tier-1 smoke (bench_*.py files are collected by pytest) ---------------
+
+def test_bench_formal_summary_shape(tmp_path):
+    summary = run_benchmarks(depths=[0], widths=[2], budget=20_000)
+    assert summary["schema"] == BENCH_SCHEMA
+    bmc = summary["bmc_blackjack"]["0"]
+    assert bmc["verdict"] in ("proved", "unknown")
+    assert bmc["decisions"] >= 0 and bmc["clauses"] > 0
+    ripple = summary["miter_vs_cosim_ripple"]["2"]
+    assert ripple["formal"]["verdict"] == "proved"
+    assert ripple["cosim"]["vectors"] == 1 << ripple["input_bits"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,6 +42,9 @@ class EquivalenceReport:
     equivalent: bool
     vectors_checked: int
     mismatches: list[Mismatch] = field(default_factory=list)
+    #: The RNG seed for sampled runs (None for exhaustive runs), so any
+    #: mismatch can be reproduced by re-running with the same seed.
+    seed: int | None = None
 
     def __bool__(self) -> bool:
         return self.equivalent
@@ -106,7 +109,7 @@ def random_equivalent(
     inputs, outs = _interfaces(a, b)
     rng = random.Random(seed)
     a_sim, b_sim = a.simulator(), b.simulator()
-    report = EquivalenceReport(True, 0)
+    report = EquivalenceReport(True, 0, seed=seed)
     for _ in range(trials):
         vector = {name: rng.randrange(1 << w) for name, w in inputs}
         mismatch = _compare_vector(a_sim, b_sim, vector, outs, cycles)

@@ -14,18 +14,27 @@ Subcommands:
   the top-N hottest nets and gates;
 * ``layout FILE``    -- compute and print the floorplan;
 * ``analyze FILE``   -- logic depth, critical path, fan-out statistics;
+* ``prove FILE``     -- zeusprove bounded model checking with
+  k-induction: multi-drive conflicts, OUT-pin definedness, and
+  ``assert:<path>`` user properties, every refutation replayed through
+  the simulator (text or ``zeus.proof/1`` JSON);
+* ``equiv A B``      -- zeusprove sequential equivalence of two designs
+  over matched interfaces (PROVED-EQUIVALENT / COUNTEREXAMPLE /
+  UNKNOWN), optionally cross-checked by random co-simulation;
 * ``dot FILE``       -- export the semantics graph as Graphviz DOT;
 * ``examples``       -- list the bundled paper programs (usable with
   ``--builtin NAME`` instead of FILE everywhere).
 
-``check``, ``lint``, ``sim``, ``analyze`` and ``profile`` accept
-``--metrics FILE`` to dump a machine-readable ``zeus.metrics/1`` JSON
-report (compile-phase spans, design stats, and -- where a simulation
-ran -- the activity counters).  See ``docs/INTERNALS.md``,
-"Observability".
+``check``, ``lint``, ``sim``, ``analyze``, ``profile``, ``prove`` and
+``equiv`` accept ``--metrics FILE`` to dump a machine-readable
+``zeus.metrics/1`` JSON report (compile-phase spans, design stats,
+and -- where a simulation or proof ran -- the activity counters and
+solver statistics).  See ``docs/INTERNALS.md``, "Observability".
 
-Exit codes for ``check`` and ``lint``: 0 clean, 1 warnings under
-``--werror``, 2 errors (including parse/elaboration failures).
+Exit codes follow one contract everywhere: 0 clean, 1 warnings or
+UNKNOWN verdicts under ``--werror``, 2 errors -- including parse and
+elaboration failures (every subcommand) and refuted properties
+(``prove``/``equiv`` counterexamples).
 """
 
 from __future__ import annotations
@@ -91,6 +100,21 @@ def _add_engine(p: argparse.ArgumentParser) -> None:
         help="simulation engine: levelized fast path, dataflow firing, "
              "or auto (levelized when the design can be scheduled)",
     )
+
+
+def _add_formal(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--depth", type=int, default=8, metavar="K",
+                   help="BMC unrolling bound in cycles (default 8)")
+    p.add_argument("--budget", type=int, default=100_000, metavar="N",
+                   help="solver node budget per SAT question (default 100000)")
+    p.add_argument("--no-induction", action="store_true",
+                   help="skip the k-induction attempt after a clean BMC")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="report format (default text)")
+    p.add_argument("-o", "--output", metavar="FILE",
+                   help="write the report to FILE instead of stdout")
+    p.add_argument("--werror", action="store_true",
+                   help="exit 1 on UNKNOWN verdicts")
 
 
 def _parse_pokes(specs: list[str]) -> list[tuple[int, str, int]]:
@@ -187,6 +211,41 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--cone", metavar="SIG",
                    help="print the cone of influence of a signal")
 
+    p = sub.add_parser(
+        "prove",
+        help="zeusprove: bounded model checking with k-induction",
+    )
+    _add_common(p)
+    _add_metrics(p)
+    _add_formal(p)
+    p.add_argument(
+        "--prop", action="append", default=[], metavar="PROP",
+        help="property to check: no-conflict, out-defined:<pin>, or "
+             "assert:<path>; repeatable (default: no-conflict plus "
+             "out-defined for every OUT pin)",
+    )
+
+    p = sub.add_parser(
+        "equiv",
+        help="zeusprove: sequential equivalence of two designs",
+    )
+    p.add_argument("file", nargs="?", help="first Zeus source file")
+    p.add_argument("file2", nargs="?", help="second Zeus source file")
+    p.add_argument("--builtin", help="bundled program for the first design")
+    p.add_argument("--builtin2", help="bundled program for the second design")
+    p.add_argument("--top", help="top-level signal of the first design")
+    p.add_argument("--top2", help="top-level signal of the second design")
+    p.add_argument("--lenient", action="store_true",
+                   help="collect check errors instead of failing on the first")
+    _add_metrics(p)
+    _add_formal(p)
+    p.add_argument(
+        "--sample", type=int, metavar="N",
+        help="also cross-check with N random co-simulation vectors",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for --sample vector generation (default 0)")
+
     p = sub.add_parser("dot", help="export the semantics graph as DOT")
     _add_common(p)
     p.add_argument("-o", "--output", help="output file (default: stdout)")
@@ -216,12 +275,17 @@ def main(argv: list[str] | None = None) -> int:
     # Capture this invocation's compile-phase spans on a fresh registry.
     registry = _spans.REGISTRY
     registry.reset()
+    if args.cmd == "equiv":
+        return _equiv(args, registry)
+
     try:
         circuit = _load(args)
     except ZeusError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        # check/lint follow the exit-code contract: failures are errors.
-        return 2 if args.cmd in ("check", "lint") else 1
+        # Every subcommand follows the exit-code contract: a design that
+        # fails to parse/elaborate/check is an error, never a traceback
+        # (and never a silent 1 that looks like mere warnings).
+        return 2
 
     if args.cmd == "check":
         for diag in circuit.diagnostics.diagnostics:
@@ -294,10 +358,36 @@ def main(argv: list[str] | None = None) -> int:
             print(text, end="")
         return 0
 
-    if args.cmd == "profile":
-        return _profile(args, circuit, registry)
+    if args.cmd == "prove":
+        return _prove(args, circuit, registry)
 
-    # sim
+    if args.cmd == "profile":
+        return _guard_runtime(lambda: _profile(args, circuit, registry))
+
+    return _guard_runtime(lambda: _sim(args, circuit, registry))
+
+
+def _guard_runtime(thunk) -> int:
+    """Run a simulating subcommand body under the exit-code contract: a
+    runtime failure (strict-mode violation, unknown poke/watch signal)
+    is an error -- report it, exit 2, never a traceback."""
+    try:
+        return thunk()
+    except ZeusError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        # The simulator raises KeyError with a full message for unknown
+        # poke/peek/watch paths; bare keys get a generic wrapper.
+        what = exc.args[0] if exc.args else exc
+        if not (isinstance(what, str) and " " in what):
+            what = f"unknown signal {what!r}"
+        print(f"error: {what}", file=sys.stderr)
+        return 2
+
+
+def _sim(args: argparse.Namespace, circuit: Circuit, registry) -> int:
+    """The ``zeusc sim`` body: run the cycles, print the trace."""
     sim = circuit.simulator(
         seed=args.seed, strict=not args.lenient, metrics=bool(args.metrics),
         engine=args.engine,
@@ -414,6 +504,83 @@ def _profile(args: argparse.Namespace, circuit: Circuit, registry) -> int:
         )
         print(f"wrote {args.metrics}")
     return 0
+
+
+def _emit_formal(args: argparse.Namespace, report, circuit,
+                 registry) -> int:
+    """Render/write a zeus.proof/1 report and apply the exit contract."""
+    from .formal import write_proof_report
+
+    if args.format == "json":
+        text = report.render_json()
+    else:
+        text = report.render_text() + "\n"
+    if args.output:
+        if args.format == "json":
+            write_proof_report(args.output, report)
+        else:
+            with open(args.output, "w", encoding="utf-8") as f:
+                f.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    if args.metrics:
+        write_metrics(
+            args.metrics,
+            metrics_report(circuit, registry=registry, formal=report),
+        )
+        print(f"wrote {args.metrics}")
+    return report.exit_code(werror=args.werror)
+
+
+def _prove(args: argparse.Namespace, circuit: Circuit, registry) -> int:
+    """The ``zeusc prove`` body: BMC + k-induction over the properties."""
+    from .formal import FormalConfig, prove
+
+    config = FormalConfig(depth=args.depth, budget=args.budget,
+                          induction=not args.no_induction)
+    try:
+        report = prove(circuit, args.prop or None, config)
+    except ValueError as exc:  # bad --prop spec
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return _emit_formal(args, report, circuit, registry)
+
+
+def _equiv(args: argparse.Namespace, registry) -> int:
+    """The ``zeusc equiv`` body: load both designs, run the miter, and
+    optionally cross-check with random co-simulation."""
+    from .formal import FormalConfig, check_equivalence
+
+    try:
+        a = _load(args)
+        b = _load(argparse.Namespace(
+            builtin=args.builtin2, file=args.file2, top=args.top2,
+            lenient=args.lenient))
+    except ZeusError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = FormalConfig(depth=args.depth, budget=args.budget,
+                          induction=not args.no_induction)
+    try:
+        report = check_equivalence(a, b, config)
+    except ValueError as exc:  # mismatched interfaces
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    code = _emit_formal(args, report, a, registry)
+    if args.sample:
+        from .analysis import random_equivalent
+
+        sampled = random_equivalent(a, b, trials=args.sample,
+                                    seed=args.seed)
+        verdict = "agree" if sampled.equivalent else "MISMATCH"
+        print(f"co-simulation: {sampled.vectors_checked} random "
+              f"vector(s) (seed {sampled.seed}): {verdict}")
+        if not sampled.equivalent:
+            for m in sampled.mismatches[:4]:
+                print(f"  {m}")
+            code = max(code, 2)
+    return code
 
 
 if __name__ == "__main__":

@@ -665,24 +665,7 @@ def _gate_value(
 
     if op == "RANDOM":
         return Logic.ONE if rng.random() < 0.5 else Logic.ZERO
-    if op == "EQUAL":
-        # Section-8 firing rule: a single bit position with two defined,
-        # differing values settles the comparison to ZERO no matter what
-        # the other (possibly unfired or undefined) positions hold.
-        half = len(vals) // 2
-        unknown = undef = False
-        for x, y in zip(vals[:half], vals[half:]):
-            if x is None or y is None:
-                unknown = True
-            elif x.is_defined and y.is_defined:
-                if x is not y:
-                    return Logic.ZERO
-            else:
-                undef = True
-        if unknown:
-            return None
-        return Logic.UNDEF if undef else Logic.ONE
-    fn = V.GATE_FUNCTIONS[op]
+    fn = V.NETLIST_GATE_FUNCTIONS[op]
     return fn(vals)
 
 

@@ -212,6 +212,33 @@ def not_gate(value: Logic | None) -> Logic | None:
     return Logic.UNDEF
 
 
+def equal_bus_gate(inputs: Sequence[Logic | None]) -> Logic | None:
+    """EQUAL as instantiated in a netlist: ``EQUAL(a, b)`` where the
+    input list is the concatenation of the two operand buses (first
+    half vs. second half, positionally paired).
+
+    A single position with two defined, differing values settles the
+    comparison to ZERO no matter what the other (possibly unfired or
+    undefined) positions hold — the section-8 firing rule.  This is the
+    one table both the simulator and the formal solver evaluate EQUAL
+    through, so they cannot drift apart (:mod:`repro.formal.solver`
+    cross-checks every op against these functions).
+    """
+    half = len(inputs) // 2
+    unknown = undef = False
+    for x, y in zip(inputs[:half], inputs[half:]):
+        if x is None or y is None:
+            unknown = True
+        elif x.is_defined and y.is_defined:
+            if x is not y:
+                return Logic.ZERO
+        else:
+            undef = True
+    if unknown:
+        return None
+    return Logic.UNDEF if undef else Logic.ONE
+
+
 #: Gate evaluators keyed by the predefined component name.  Every entry
 #: maps a sequence of per-bit input values (None = not yet fired) to an
 #: output value or None (cannot fire yet).
@@ -224,6 +251,16 @@ GATE_FUNCTIONS = {
     "EQUAL": equal_gate,
     "NOT": lambda inputs: not_gate(inputs[0]),
 }
+
+#: Gate evaluators as wired by the elaborator: identical to
+#: :data:`GATE_FUNCTIONS` except EQUAL, which a netlist instantiates as
+#: one comparator over two concatenated operand buses rather than one
+#: per-position comparator.  The simulator and the formal solver both
+#: evaluate through this table (the single-source-of-truth for gate
+#: semantics); RANDOM is the one op not here because it has no function
+#: semantics.
+NETLIST_GATE_FUNCTIONS = dict(GATE_FUNCTIONS)
+NETLIST_GATE_FUNCTIONS["EQUAL"] = equal_bus_gate
 
 
 def bits_of(value: int, width: int) -> list[Logic]:

@@ -29,13 +29,13 @@ The proof engine layers three techniques over the guard cones:
    union support with short-circuit evaluation and pruning, up to a
    node budget, yielding either UNSAT (exclusive) or a witness.
 
-Soundness notes.  Evaluation is Kleene-monotone: a guard that evaluates
-to 1 under a partial two-valued assignment evaluates to 1 under every
-runtime refinement (UNDEF inputs can never *create* a 1), so UNSAT over
-{0,1} assignments really does imply runtime exclusivity.  Conversely a
-witness is only reported as a proved conflict when every assigned
-variable is a controllable primary input and both sources provably
-drive; anything weaker degrades to ``unknown``.
+The cone extraction, four-valued evaluation and DPLL live in the shared
+solver core (:mod:`repro.formal.solver`) -- the same engine the bounded
+model checker and the equivalence checker run on, and the same gate
+table the simulator evaluates, so the three can never disagree on a
+single gate.  See that module's docstring for the soundness argument
+(Kleene monotonicity: UNSAT over {0,1} assignments really does imply
+runtime exclusivity).
 """
 
 from __future__ import annotations
@@ -43,237 +43,29 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.values import Logic
+from ..formal.solver import (
+    BudgetExceeded as _BudgetExceeded,
+    ConeBuilder,
+    and_factors,
+    cosat,
+    equal_const_map as _equal_const_map,
+    eval_expr,
+    literal_of as _literal,
+)
 from .context import DriverInfo, LintContext
 from .model import LintConfig
 
-# Expression nodes (hash-consed informally by the builder's memo):
-#   ("const", 0 | 1 | "U")
-#   ("var", key)            key = ("net", ci) | ("rand", gate_id)
-#   ("gate", op, args)      op in AND OR NAND NOR XOR NOT EQUAL
-
 _TRUE = ("const", 1)
-_FALSE = ("const", 0)
-_UNDEF = ("const", "U")
 
-_LOGIC_TO_VAL = {Logic.ZERO: 0, Logic.ONE: 1, Logic.UNDEF: "U"}
-
-
-class ConeBuilder:
-    """Builds boolean expressions for net classes by tracing the gate
-    cone back to *support variables*: primary inputs, register outputs,
-    RANDOM sources, and nets the builder cannot model precisely
-    (multi-driven, cyclic, or oversized cones)."""
-
-    def __init__(self, ctx: LintContext, max_nodes: int = 5000):
-        self.ctx = ctx
-        self.max_nodes = max_nodes
-        self.nodes = 0
-        self._memo: dict[int, tuple] = {}
-        self._building: set[int] = set()
-        #: var key -> kind: input | reg | random | opaque | cyclic | undriven
-        self.var_kinds: dict[tuple, str] = {}
-        self._support_memo: dict[int, tuple] = {}
-
-    # -- construction --------------------------------------------------------
-
-    def expr(self, ci: int) -> tuple:
-        cached = self._memo.get(ci)
-        if cached is not None:
-            return cached
-        if ci in self._building:
-            return self._var(("net", ci), "cyclic")
-        self._building.add(ci)
-        try:
-            e = self._build(ci)
-        finally:
-            self._building.discard(ci)
-        self._memo[ci] = e
-        return e
-
-    def _var(self, key: tuple, kind: str) -> tuple:
-        self.var_kinds.setdefault(key, kind)
-        return ("var", key)
-
-    def _build(self, ci: int) -> tuple:
-        ctx = self.ctx
-        if ctx.is_input[ci]:
-            return self._var(("net", ci), "input")
-        if ci in ctx.reg_q_of:
-            return self._var(("net", ci), "reg")
-        gates = ctx.gates_of.get(ci, [])
-        drivers = ctx.drivers_of[ci]
-        if len(gates) == 1 and not drivers:
-            return self._gate_expr(gates[0])
-        if not gates and len(drivers) == 1 and drivers[0].uncond:
-            drv = drivers[0]
-            if drv.const is not None:
-                val = _LOGIC_TO_VAL.get(drv.const)
-                # A NOINFL constant reads as UNDEF through the implicit
-                # amplifier (section 3.2), and UNDEF can never become 1.
-                return ("const", val if val is not None else "U")
-            return self.expr(drv.src)
-        if not gates and not drivers:
-            return self._var(("net", ci), "undriven")
-        return self._var(("net", ci), "opaque")
-
-    def _gate_expr(self, gate) -> tuple:
-        if gate.op == "RANDOM":
-            return self._var(("rand", gate.id), "random")
-        self.nodes += 1
-        if self.nodes > self.max_nodes:
-            return self._var(("net", self.ctx.idx(gate.output)), "opaque")
-        args = tuple(self.expr(self.ctx.idx(i)) for i in gate.inputs)
-        return ("gate", gate.op, args)
-
-    # -- support -------------------------------------------------------------
-
-    def support(self, expr: tuple) -> tuple:
-        """All var keys reachable from *expr*, in deterministic order."""
-        cached = self._support_memo.get(id(expr))
-        if cached is not None:
-            return cached
-        out: list[tuple] = []
-        seen_vars: set[tuple] = set()
-        seen_nodes: set[int] = set()
-        stack = [expr]
-        while stack:
-            e = stack.pop()
-            if id(e) in seen_nodes:
-                continue
-            seen_nodes.add(id(e))
-            tag = e[0]
-            if tag == "var":
-                if e[1] not in seen_vars:
-                    seen_vars.add(e[1])
-                    out.append(e[1])
-            elif tag == "gate":
-                stack.extend(e[2])
-        out.sort()
-        result = tuple(out)
-        self._support_memo[id(expr)] = result
-        return result
-
-
-def eval_expr(expr: tuple, asn: dict, memo: dict | None = None):
-    """Evaluate under a partial two-valued assignment.
-
-    Returns 0, 1, ``"U"`` (undefined at runtime), or None (still depends
-    on unassigned variables).  Short-circuits exactly like the section-8
-    firing rules, which is what makes the case split prune well."""
-    if memo is None:
-        memo = {}
-    return _eval(expr, asn, memo)
-
-
-def _eval(e: tuple, asn: dict, memo: dict):
-    tag = e[0]
-    if tag == "const":
-        return e[1]
-    if tag == "var":
-        return asn.get(e[1])
-    key = id(e)
-    if key in memo:
-        return memo[key]
-    op = e[1]
-    args = e[2]
-    vals = [_eval(a, asn, memo) for a in args]
-    out = _apply(op, vals)
-    memo[key] = out
-    return out
-
-
-def _apply(op: str, vals: list):
-    if op == "NOT":
-        v = vals[0]
-        if v == 0:
-            return 1
-        if v == 1:
-            return 0
-        return v  # "U" or None
-    if op in ("AND", "NAND"):
-        if any(v == 0 for v in vals):
-            out = 0
-        elif any(v is None for v in vals):
-            out = None
-        elif any(v == "U" for v in vals):
-            out = "U"
-        else:
-            out = 1
-        return out if op == "AND" else _negate(out)
-    if op in ("OR", "NOR"):
-        if any(v == 1 for v in vals):
-            out = 1
-        elif any(v is None for v in vals):
-            out = None
-        elif any(v == "U" for v in vals):
-            out = "U"
-        else:
-            out = 0
-        return out if op == "OR" else _negate(out)
-    if op == "XOR":
-        if any(v is None for v in vals):
-            return None
-        if any(v == "U" for v in vals):
-            return "U"
-        return sum(vals) % 2
-    if op == "EQUAL":
-        half = len(vals) // 2
-        unknown = undef = False
-        for x, y in zip(vals[:half], vals[half:]):
-            if x in (0, 1) and y in (0, 1):
-                if x != y:
-                    return 0  # settled, whatever the rest holds
-            elif x is None or y is None:
-                unknown = True
-            else:
-                undef = True
-        if unknown:
-            return None
-        return "U" if undef else 1
-    raise ValueError(f"prover cannot model gate op {op!r}")
-
-
-def _negate(v):
-    if v == 0:
-        return 1
-    if v == 1:
-        return 0
-    return v
-
-
-def and_factors(e: tuple) -> list[tuple]:
-    """Flatten an AND-tree into its conjunction factors."""
-    if e[0] == "gate" and e[1] == "AND":
-        out: list[tuple] = []
-        for a in e[2]:
-            out.extend(and_factors(a))
-        return out
-    return [e]
-
-
-def _literal(e: tuple):
-    """(key, polarity) for ``v`` / ``NOT v`` factors, else None."""
-    if e[0] == "var":
-        return (e[1], True)
-    if e[0] == "gate" and e[1] == "NOT" and e[2][0][0] == "var":
-        return (e[2][0][1], False)
-    return None
-
-
-def _equal_const_map(e: tuple) -> dict | None:
-    """For an EQUAL factor, map each non-constant operand expression to
-    the constant it is compared against (positions where exactly one
-    side is a 0/1 constant)."""
-    if e[0] != "gate" or e[1] != "EQUAL":
-        return None
-    args = e[2]
-    half = len(args) // 2
-    out: dict = {}
-    for x, y in zip(args[:half], args[half:]):
-        for a, b in ((x, y), (y, x)):
-            if b[0] == "const" and b[1] in (0, 1) and a[0] != "const":
-                out[a] = b[1]
-    return out
+__all__ = [
+    "ConeBuilder",
+    "NetResult",
+    "PairVerdict",
+    "Prover",
+    "ProverResult",
+    "and_factors",
+    "eval_expr",
+]
 
 
 @dataclass
@@ -337,10 +129,6 @@ class ProverResult:
             "unknown": self.unknown,
             "nets": [n.to_dict() for n in self.nets],
         }
-
-
-class _BudgetExceeded(Exception):
-    pass
 
 
 class Prover:
@@ -510,34 +298,9 @@ class Prover:
             "both drivers enabled under the witness assignment", named)
 
     def _cosat(self, ga: tuple, gb: tuple, support: list) -> dict | None:
-        """DPLL-style search for an assignment with ga = gb = 1."""
-        budget = self.config.prover_budget
-        asn: dict = {}
-        nodes = 0
-
-        def rec() -> dict | None:
-            nonlocal nodes
-            nodes += 1
-            if nodes > budget:
-                raise _BudgetExceeded
-            va = eval_expr(ga, asn)
-            if va in (0, "U"):
-                return None
-            vb = eval_expr(gb, asn)
-            if vb in (0, "U"):
-                return None
-            if va == 1 and vb == 1:
-                return dict(asn)
-            var = next(v for v in support if v not in asn)
-            for val in (1, 0):
-                asn[var] = val
-                hit = rec()
-                if hit is not None:
-                    return hit
-                del asn[var]
-            return None
-
-        return rec()
+        """DPLL-style search for an assignment with ga = gb = 1, on the
+        shared solver core."""
+        return cosat(ga, gb, support, budget=self.config.prover_budget)
 
     def _var_name(self, key: tuple) -> str:
         if key[0] == "net":

@@ -27,6 +27,13 @@ A report is a plain JSON object:
         "prover": {"nets_analyzed", "proved_exclusive",
                    "proved_conflicting", "unknown"}   # omitted if off
       },
+      "formal": {                       # omitted if zeusprove did not run
+        "mode",                         # "prove" | "equiv"
+        "verdict",                      # "proved"|"counterexample"|"unknown"
+        "properties", "proved", "refuted", "unknown",
+        "solver": {"clauses", "decisions", "nodes", "sat_calls",
+                   "depth_reached", "budget_exhausted"}
+      },
       "wall": {"elapsed_s", "cycles_per_s"}   # omitted without timing
     }
 
@@ -56,6 +63,7 @@ def metrics_report(
     elapsed: float | None = None,
     top: int | None = None,
     lint=None,
+    formal=None,
 ) -> dict:
     """Assemble the full ``zeus.metrics/1`` report dict."""
     stats = circuit.netlist.stats()
@@ -93,6 +101,23 @@ def metrics_report(
                 "unknown": lint.prover.unknown,
             }
         report["lint"] = section
+    if formal is not None:
+        report["formal"] = {
+            "mode": formal.mode,
+            "verdict": formal.verdict,
+            "properties": len(formal.results),
+            "proved": formal.proved,
+            "refuted": formal.refuted,
+            "unknown": formal.unknown,
+            "solver": {
+                "clauses": formal.clauses,
+                "decisions": formal.stats.decisions,
+                "nodes": formal.stats.nodes,
+                "sat_calls": formal.stats.sat_calls,
+                "depth_reached": formal.depth_reached,
+                "budget_exhausted": formal.stats.budget_exhausted,
+            },
+        }
     if elapsed is not None:
         cycles = sim.metrics.cycles if sim is not None else 0
         report["wall"] = {
@@ -188,6 +213,24 @@ def validate_report(report: dict) -> None:
             for key in ("nets_analyzed", "proved_exclusive",
                         "proved_conflicting", "unknown"):
                 need(prover, key, int, "lint.prover")
+
+    if "formal" in report:
+        formal = need(report, "formal", dict, "report")
+        if formal.get("mode") not in ("prove", "equiv"):
+            raise ValueError(
+                f"metrics report: bad formal.mode {formal.get('mode')!r}")
+        if formal.get("verdict") not in ("proved", "counterexample",
+                                         "unknown"):
+            raise ValueError(
+                "metrics report: bad formal.verdict "
+                f"{formal.get('verdict')!r}")
+        for key in ("properties", "proved", "refuted", "unknown"):
+            need(formal, key, int, "formal")
+        solver = need(formal, "solver", dict, "formal")
+        for key in ("clauses", "decisions", "nodes", "sat_calls",
+                    "depth_reached"):
+            need(solver, key, int, "formal.solver")
+        need(solver, "budget_exhausted", bool, "formal.solver")
 
     if "wall" in report:
         wall = need(report, "wall", dict, "report")

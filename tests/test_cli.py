@@ -194,3 +194,151 @@ class TestZeusFiles:
         )
         circuit = repro.compile_file(path, top="adder")
         assert circuit.stats()["gates"] == 20
+
+
+FORMAL_OR = """
+TYPE t = COMPONENT (IN a, b: boolean; OUT z: boolean) IS
+BEGIN
+    z := OR(a, b)
+END;
+SIGNAL u: t;
+"""
+
+FORMAL_AND = FORMAL_OR.replace("OR(a, b)", "AND(a, b)")
+
+
+class TestProveCLI:
+    def test_proved_clean(self, capsys):
+        code, out, _ = run(
+            ["prove", "--builtin", "adders", "--top", "adder4"], capsys)
+        assert code == 0
+        assert "PROVED" in out
+
+    def test_counterexample_exits_2(self, capsys):
+        code, out, _ = run(
+            ["prove", "--builtin", "section8", "--lenient"], capsys)
+        assert code == 2
+        assert "COUNTEREXAMPLE" in out
+        assert "replay: confirmed" in out
+
+    def test_json_output_is_valid_proof_schema(self, tmp_path, capsys):
+        import json
+
+        from repro.formal import validate_proof_report
+
+        out_file = tmp_path / "proof.json"
+        code, out, _ = run(
+            ["prove", "--builtin", "section8", "--lenient",
+             "--format", "json", "-o", str(out_file)], capsys)
+        assert code == 2
+        data = json.loads(out_file.read_text())
+        validate_proof_report(data)
+        assert data["mode"] == "prove"
+
+    def test_metrics_report_has_formal_section(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_report
+
+        metrics = tmp_path / "metrics.json"
+        code, _, _ = run(
+            ["prove", "--builtin", "adders", "--top", "adder4",
+             "--metrics", str(metrics)], capsys)
+        assert code == 0
+        data = json.loads(metrics.read_text())
+        validate_report(data)
+        assert data["formal"]["mode"] == "prove"
+        assert data["formal"]["refuted"] == 0
+
+    def test_bad_property_exits_2(self, capsys):
+        code, _, err = run(
+            ["prove", "--builtin", "adders", "--top", "adder4",
+             "--prop", "frobnicate"], capsys)
+        assert code == 2
+        assert "error" in err
+
+    def test_werror_promotes_unknown(self, capsys):
+        code, _, _ = run(
+            ["prove", "--builtin", "blackjack", "--lenient",
+             "--depth", "0", "--budget", "10", "--no-induction",
+             "--prop", "no-conflict", "--werror"], capsys)
+        assert code == 1
+
+
+class TestEquivCLI:
+    def test_paper_adders_equivalent(self, capsys):
+        code, out, _ = run(
+            ["equiv", "--builtin", "adders", "--top", "adder4",
+             "--builtin2", "adders", "--top2", "adder"], capsys)
+        assert code == 0
+        assert "PROVED-EQUIVALENT" in out
+
+    def test_inequivalent_pair_exits_2(self, tmp_path, capsys):
+        fa = tmp_path / "or.zeus"
+        fb = tmp_path / "and.zeus"
+        fa.write_text(FORMAL_OR)
+        fb.write_text(FORMAL_AND)
+        code, out, _ = run(["equiv", str(fa), str(fb)], capsys)
+        assert code == 2
+        assert "COUNTEREXAMPLE" in out
+        assert "replay: confirmed" in out
+
+    def test_sample_cross_check(self, capsys):
+        code, out, _ = run(
+            ["equiv", "--builtin", "trees", "--top", "a",
+             "--builtin2", "trees", "--top2", "b",
+             "--sample", "16", "--seed", "3"], capsys)
+        assert code == 0
+        assert "seed 3" in out and "agree" in out
+
+    def test_interface_mismatch_exits_2(self, capsys):
+        code, _, err = run(
+            ["equiv", "--builtin", "adders", "--top", "adder4",
+             "--builtin2", "trees", "--top2", "a"], capsys)
+        assert code == 2
+        assert "interfaces differ" in err
+
+    def test_missing_second_design_exits_2(self, tmp_path, capsys):
+        fa = tmp_path / "or.zeus"
+        fa.write_text(FORMAL_OR)
+        with pytest.raises(SystemExit):
+            main(["equiv", str(fa)])
+
+
+class TestElaborationExitCodes:
+    """Every subcommand exits 2 (never a traceback, never a fake 1) on
+    a design that fails to parse or elaborate."""
+
+    BAD = "TYPE t = COMPONENT (IN a: boolean OUT z: boolean) IS\nBEGIN z := a END;\nSIGNAL u: t;\n"
+
+    @pytest.mark.parametrize(
+        "cmd", ["check", "lint", "stats", "sim", "profile", "layout",
+                "analyze", "dot", "prove"])
+    def test_broken_source_exits_2(self, cmd, tmp_path, capsys):
+        bad = tmp_path / "broken.zeus"
+        bad.write_text(self.BAD)
+        code, _, err = run([cmd, str(bad)], capsys)
+        assert code == 2
+        assert "error" in err
+
+    def test_equiv_broken_source_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "broken.zeus"
+        bad.write_text(self.BAD)
+        code, _, err = run(
+            ["equiv", str(bad), "--builtin2", "adders", "--top2",
+             "adder4"], capsys)
+        assert code == 2
+        assert "error" in err
+
+    def test_sim_unknown_poke_exits_2(self, capsys):
+        code, _, err = run(
+            ["sim", "--builtin", "adders", "--poke", "nosuch=1"], capsys)
+        assert code == 2
+        assert "nosuch" in err
+
+    def test_profile_unknown_poke_exits_2(self, capsys):
+        code, _, err = run(
+            ["profile", "--builtin", "adders", "--poke", "nosuch=1"],
+            capsys)
+        assert code == 2
+        assert "nosuch" in err
