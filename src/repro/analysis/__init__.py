@@ -1,7 +1,15 @@
 """Analysis utilities over elaborated designs: depth/fan-out statistics,
-critical paths, cones, equivalence checking, and DOT export."""
+critical paths, cones, equivalence checking, differential fuzzing, and
+DOT export."""
 
 from .equiv import EquivalenceReport, Mismatch, exhaustive_equivalent, random_equivalent
+from .fuzzgen import (
+    DifferentialResult,
+    FuzzProgram,
+    differential_check,
+    generate_program,
+    shrink,
+)
 from .graphdot import to_dot, write_dot
 from .netstats import (
     cone_of_influence,
@@ -15,12 +23,17 @@ from .netstats import (
 )
 
 __all__ = [
+    "DifferentialResult",
     "EquivalenceReport",
+    "FuzzProgram",
     "Mismatch",
     "cone_of_influence",
     "critical_path",
+    "differential_check",
     "exhaustive_equivalent",
     "fanout",
+    "generate_program",
+    "shrink",
     "logic_depth",
     "logic_levels",
     "max_fanout",

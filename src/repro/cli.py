@@ -185,6 +185,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("--vcd", help="write a VCD file of the watched signals")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--batch", metavar="FILE",
+        help="batched bit-parallel sweep: JSON stimulus "
+             '({"lanes": N, "pokes": {sig: value-or-per-lane-list}}), '
+             "one lane per stimulus, all lanes in one run",
+    )
+    p.add_argument(
+        "--lanes", type=int, default=None, metavar="N",
+        help="lane count for --engine batched (default: from --batch, "
+             "else 64)",
+    )
     _add_engine(p)
 
     p = sub.add_parser(
@@ -386,8 +397,91 @@ def _guard_runtime(thunk) -> int:
         return 2
 
 
+_LANE_GLYPHS = {"0": "0", "1": "1", "UNDEF": "X", "NOINFL": "Z"}
+
+
+def _lane_cell(bits) -> str:
+    """Render one lane's value: an int when fully defined, else a
+    MSB-first glyph string (X = UNDEF, Z = NOINFL)."""
+    from .core.values import num_of
+
+    value = num_of(bits)
+    if value is not None:
+        return str(value)
+    return "".join(_LANE_GLYPHS[str(b)] for b in reversed(bits))
+
+
+def _sim_batched(args: argparse.Namespace, circuit: Circuit, registry) -> int:
+    """The ``zeusc sim --batch`` body: one bit-parallel run, one final
+    per-lane table of the watched signals."""
+    from .core.batched import BatchStimulus
+
+    stim = BatchStimulus.from_json(args.batch) if args.batch else None
+    if args.lanes is not None:
+        lanes = args.lanes
+    elif stim is not None:
+        lanes = stim.lanes
+    else:
+        lanes = 64
+    if stim is not None and stim.lanes != lanes:
+        print(
+            f"error: --lanes {lanes} conflicts with --batch lane count "
+            f"{stim.lanes}",
+            file=sys.stderr,
+        )
+        return 2
+    sim = circuit.simulator(
+        seed=args.seed, strict=not args.lenient, metrics=bool(args.metrics),
+        engine="batched", lanes=lanes,
+    )
+    if stim is not None:
+        stim.apply(sim)
+    pokes = _parse_pokes(args.poke)
+    watch = args.watch or [p.name for p in circuit.netlist.ports]
+    t0 = time.perf_counter()
+    for t in range(args.cycles):
+        for cycle, sig, val in pokes:
+            if cycle == t:
+                sim.poke(sig, val)
+        sim.step()
+    elapsed = time.perf_counter() - t0
+    mode = "bit-parallel" if sim._batched_fast else "per-lane fallback"
+    print(f"batched run: {lanes} lanes x {args.cycles} cycles ({mode})")
+    if sim.engine_reason:
+        print(f"  ({sim.engine_reason})")
+    columns = [(name, sim.peek_lanes(name)) for name in watch]
+    cells = [
+        [_lane_cell(per_lane[k]) for name, per_lane in columns]
+        for k in range(lanes)
+    ]
+    headers = ["lane"] + [name for name, _ in columns]
+    widths = [
+        max(len(headers[c]), *(len(row[c - 1]) if c else len(str(k))
+                               for k, row in enumerate(cells)))
+        for c in range(len(headers))
+    ]
+    print("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    for k, row in enumerate(cells):
+        print("  ".join(
+            v.rjust(w) for v, w in zip([str(k)] + row, widths)
+        ))
+    if sim.violations:
+        print(f"{len(sim.violations)} runtime violation(s):")
+        for v in sim.violations:
+            print(f"  {v}")
+    if args.metrics:
+        write_metrics(
+            args.metrics,
+            metrics_report(circuit, sim, registry, elapsed=elapsed),
+        )
+        print(f"wrote {args.metrics}")
+    return 0
+
+
 def _sim(args: argparse.Namespace, circuit: Circuit, registry) -> int:
     """The ``zeusc sim`` body: run the cycles, print the trace."""
+    if args.batch or args.lanes is not None or args.engine == "batched":
+        return _sim_batched(args, circuit, registry)
     sim = circuit.simulator(
         seed=args.seed, strict=not args.lenient, metrics=bool(args.metrics),
         engine=args.engine,

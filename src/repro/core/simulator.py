@@ -33,6 +33,8 @@ from typing import Iterable, Sequence, Union
 
 from ..lang.errors import SimulationError
 from ..obs.metrics import SimMetrics
+from .batched import LOGIC_PLANES, PLANE_LOGIC, lane_value, unpack
+from .batched import execute as _execute_batched
 from .elaborate import Design
 from .netlist import Gate, Net
 from .schedule import Schedule, ScheduleError, build_schedule
@@ -41,22 +43,30 @@ from .types import BOOLEAN
 from .values import Logic
 
 #: Valid values for the ``engine=`` knob.
-ENGINES = ("auto", "levelized", "dataflow")
+ENGINES = ("auto", "levelized", "dataflow", "batched")
 
 PokeValue = Union[Logic, int, str, Sequence[Union[Logic, int, str]]]
 
 
 @dataclass
 class Violation:
-    """A recorded runtime rule violation (lenient mode)."""
+    """A recorded runtime rule violation (lenient mode).
+
+    ``lane`` identifies the stimulus lane on the batched engine (None
+    for the scalar engines).
+    """
 
     cycle: int
     net: str
     values: list[Logic]
+    lane: int | None = None
 
     def __str__(self) -> str:
         vals = ", ".join(str(v) for v in self.values)
-        return f"cycle {self.cycle}: signal {self.net!r} driven by [{vals}]"
+        where = f"cycle {self.cycle}"
+        if self.lane is not None:
+            where += f" lane {self.lane}"
+        return f"{where}: signal {self.net!r} driven by [{vals}]"
 
 
 class _Driver:
@@ -73,15 +83,25 @@ class Simulator:
     """Cycle-based simulator for an elaborated (and ideally checked)
     :class:`~repro.core.elaborate.Design`.
 
-    Two evaluation engines share the section-8 semantics:
+    Three evaluation engines share the section-8 semantics:
 
-    * ``"levelized"`` -- the fast path: gates and drivers are compiled
-      once into a static topological :class:`~repro.core.schedule.Schedule`
-      of the REG-cut semantics graph and each cycle is a single pass over
-      it (see :mod:`repro.core.schedule`);
+    * ``"levelized"`` -- the scalar fast path: gates and drivers are
+      compiled once into a static topological
+      :class:`~repro.core.schedule.Schedule` of the REG-cut semantics
+      graph and each cycle is a single pass over it (see
+      :mod:`repro.core.schedule`);
     * ``"dataflow"`` -- the original firing-rule engine (worklist + watch
       lists), the semantics oracle and the only engine able to run
-      unchecked cyclic designs.
+      unchecked cyclic designs;
+    * ``"batched"`` -- the bit-parallel engine: *lanes* independent
+      stimuli evaluate per pass over the same schedule, each net held as
+      two bitplane ints (see :mod:`repro.core.batched`).  Drive lanes
+      with :meth:`poke_lanes` (scalar :meth:`poke` broadcasts), read
+      them with :meth:`peek_lanes`; scalar :meth:`peek` and traces see
+      lane 0.  Lane ``k`` behaves exactly like a scalar run with seed
+      ``seed + k``.  When no schedule can be built the lane API stays
+      available through a per-lane dataflow fallback (the reason in
+      :attr:`engine_reason`).
 
     ``engine="auto"`` (the default) selects the levelized engine whenever
     a schedule can be built, and otherwise falls back to dataflow with
@@ -98,6 +118,7 @@ class Simulator:
         record_firing: bool = False,
         metrics: bool = False,
         engine: str = "auto",
+        lanes: int = 64,
     ):
         self.design = design
         self.netlist = design.netlist
@@ -206,7 +227,42 @@ class Simulator:
         #: why the dataflow engine was selected ("" for levelized).
         self.engine_reason = ""
         self._schedule: Schedule | None = None
-        if engine == "dataflow":
+        #: lane count on the batched engine, None on the scalar engines.
+        self.lanes: int | None = None
+        if engine == "batched":
+            if lanes < 1:
+                raise ValueError(f"batched engine needs lanes >= 1, got {lanes}")
+            if record_firing:
+                raise ValueError(
+                    "record_firing needs a scalar engine (the firing log "
+                    "is defined by dataflow propagation order)"
+                )
+            self.engine = "batched"
+            self.lanes = lanes
+            self._lane_mask = (1 << lanes) - 1
+            self._lane_rngs = [random.Random(seed + k) for k in range(lanes)]
+            self._bvals0 = [0] * n
+            self._bvals1 = [0] * n
+            self._bpokes: dict[int, tuple[int, int, int]] = {}
+            n_regs = len(self._reg_state)
+            self._breg0 = [self._lane_mask] * n_regs
+            self._breg1 = [self._lane_mask] * n_regs
+            #: lane 0 not yet copied into ``self.values`` (lazy peek).
+            self._values_stale = False
+            #: True when the bit-parallel schedule path is active (False
+            #: means the per-lane dataflow fallback).
+            self._batched_fast = False
+            from ..obs.spans import span
+
+            try:
+                with span("schedule", design=self.design.name):
+                    self._schedule = build_schedule(self)
+                self._batched_fast = True
+            except ScheduleError as exc:
+                self.engine_reason = (
+                    f"bit-parallel fallback to per-lane dataflow: {exc}"
+                )
+        elif engine == "dataflow":
             self.engine_reason = "dataflow engine requested"
         elif engine == "auto" and self.metrics.keep_firing_log:
             # The firing log is defined by dataflow propagation order.
@@ -225,6 +281,9 @@ class Simulator:
                     ) from exc
                 self.engine_reason = str(exc)
         self.metrics.engine = self.engine
+        self.metrics.lanes = self.lanes
+        if self.lanes is not None:
+            self.metrics.fast_path = self._batched_fast
 
     @property
     def record_firing(self) -> bool:
@@ -310,9 +369,18 @@ class Simulator:
         """Set a primary input (or INOUT pin) for the coming cycles.
 
         Accepts a Logic value, 0/1, "UNDEF"/"NOINFL", a bit list (index 1
-        = LSB first, matching BIN), or an int for multi-bit signals."""
+        = LSB first, matching BIN), or an int for multi-bit signals.  On
+        the batched engine the value broadcasts to every lane."""
         nets = self.nets_of(path)
         bits = _coerce_bits(value, len(nets), path)
+        if self.lanes is not None:
+            M = self._lane_mask
+            for net, bit in zip(nets, bits):
+                b0, b1 = LOGIC_PLANES[bit]
+                self._bpokes[self._idx(net)] = (
+                    M if b0 else 0, M if b1 else 0, M
+                )
+            return
         for net, bit in zip(nets, bits):
             self._pokes[self._idx(net)] = bit
 
@@ -320,9 +388,97 @@ class Simulator:
         """Release a poked signal (it will default again)."""
         for net in self.nets_of(path):
             self._pokes.pop(self._idx(net), None)
+            if self.lanes is not None:
+                self._bpokes.pop(self._idx(net), None)
+
+    def poke_lanes(self, path: str, values: Sequence) -> None:
+        """Set a signal per lane (batched engine only).
+
+        *values* has one entry per lane: anything :meth:`poke` accepts,
+        or ``None`` for "no poke on this lane" (the lane keeps its input
+        default).  Replaces any previous poke of *path*."""
+        if self.lanes is None:
+            raise SimulationError(
+                "poke_lanes needs engine='batched' "
+                f"(this simulator runs {self.engine!r})"
+            )
+        lane_values = list(values)
+        if len(lane_values) != self.lanes:
+            raise ValueError(
+                f"poke_lanes {path!r}: got {len(lane_values)} lane values "
+                f"for {self.lanes} lanes"
+            )
+        nets = self.nets_of(path)
+        width = len(nets)
+        acc0 = [0] * width
+        acc1 = [0] * width
+        mask = 0
+        for k, v in enumerate(lane_values):
+            if v is None:
+                continue
+            bit = 1 << k
+            mask |= bit
+            for j, b in enumerate(_coerce_bits(v, width, path)):
+                b0, b1 = LOGIC_PLANES[b]
+                if b0:
+                    acc0[j] |= bit
+                if b1:
+                    acc1[j] |= bit
+        if not mask:
+            for net in nets:
+                self._bpokes.pop(self._idx(net), None)
+            return
+        for j, net in enumerate(nets):
+            self._bpokes[self._idx(net)] = (acc0[j], acc1[j], mask)
+
+    def peek_lanes(self, path: str) -> list[list[Logic]]:
+        """Read a signal on every lane (batched engine only): one list
+        of per-bit Logic values per lane (boolean signals convert NOINFL
+        to UNDEF, as :meth:`peek` does)."""
+        if self.lanes is None:
+            raise SimulationError(
+                "peek_lanes needs engine='batched' "
+                f"(this simulator runs {self.engine!r})"
+            )
+        per_net: list[list[Logic]] = []
+        for net in self.nets_of(path):
+            i = self._idx(net)
+            vals = unpack(self._bvals0[i], self._bvals1[i], self.lanes)
+            if net.kind == BOOLEAN:
+                vals = [v.to_boolean() for v in vals]
+            per_net.append(vals)
+        return [[vals[k] for vals in per_net] for k in range(self.lanes)]
+
+    def peek_lane(self, path: str, lane: int) -> list[Logic]:
+        """One lane's per-bit values (batched engine only)."""
+        if self.lanes is None:
+            raise SimulationError(
+                "peek_lane needs engine='batched' "
+                f"(this simulator runs {self.engine!r})"
+            )
+        if not 0 <= lane < self.lanes:
+            raise ValueError(f"lane {lane} out of range 0..{self.lanes - 1}")
+        out: list[Logic] = []
+        for net in self.nets_of(path):
+            i = self._idx(net)
+            v = lane_value(self._bvals0[i], self._bvals1[i], lane)
+            if net.kind == BOOLEAN:
+                v = v.to_boolean()
+            out.append(v)
+        return out
+
+    def peek_lane_int(self, path: str, lane: int) -> int | None:
+        """One lane's numeric value, or None when any bit is undefined."""
+        from .values import num_of
+
+        return num_of(self.peek_lane(path, lane))
 
     def peek(self, path: str) -> list[Logic]:
-        """Read current values (boolean signals convert NOINFL to UNDEF)."""
+        """Read current values (boolean signals convert NOINFL to UNDEF).
+
+        On the batched engine this reads lane 0."""
+        if self.lanes is not None and self._values_stale:
+            self._materialize_lane0()
         out: list[Logic] = []
         for net in self.nets_of(path):
             i = self._idx(net)
@@ -363,17 +519,140 @@ class Simulator:
                 m.firings_per_cycle.append(m.firings - f0)
                 m.steps_per_cycle.append(m.gate_evals + m.driver_evals - w0)
                 self._prev_values = list(self.values)
-            for trace in self._traces:
-                trace.sample(self)
+            if self._traces:
+                if self.lanes is not None and self._values_stale:
+                    self._materialize_lane0()
+                for trace in self._traces:
+                    trace.sample(self)
             self.cycle += 1
 
     def evaluate(self) -> None:
         """One combinational evaluation pass (no latching), on the
         engine selected at construction."""
-        if self._schedule is not None:
+        if self.lanes is not None:
+            self._evaluate_batched()
+        elif self._schedule is not None:
             self._evaluate_levelized()
         else:
             self._evaluate_dataflow()
+
+    def _evaluate_batched(self) -> None:
+        """Bit-parallel pass: all lanes in one sweep over the schedule
+        (or the per-lane dataflow fallback), then lane 0 materialized
+        into ``self.values`` so scalar peeks and traces keep working."""
+        mon = self.metrics.enabled
+        self._metrics_on = mon
+        if self._batched_fast:
+            _execute_batched(
+                self._schedule,
+                self._lane_mask,
+                self._bvals0,
+                self._bvals1,
+                self._bpokes,
+                self._breg0,
+                self._breg1,
+                self._lane_rngs,
+                self._lane_conflict,
+            )
+        else:
+            self._evaluate_batched_fallback()
+            self._metrics_on = mon
+        self._values_stale = True
+        if mon:
+            self._materialize_lane0()
+            self._batched_metrics()
+
+    def _materialize_lane0(self) -> None:
+        """Copy lane 0 out of the planes into ``self.values`` (deferred
+        until something actually reads scalar values: a pure batched
+        sweep never pays this per cycle)."""
+        PL = PLANE_LOGIC
+        self.values = [
+            PL[(x & 1) | ((y & 1) << 1)]
+            for x, y in zip(self._bvals0, self._bvals1)
+        ]
+        self._values_stale = False
+
+    def _evaluate_batched_fallback(self) -> None:
+        """Per-lane dataflow fallback: identical lane semantics at
+        scalar speed.  Each lane temporarily owns the scalar poke table,
+        register state, and rng (seed + lane), exactly reproducing an
+        independent scalar run; results are packed back into planes."""
+        m = self.metrics
+        n = len(self._canon_ids)
+        out0 = [0] * n
+        out1 = [0] * n
+        saved_rng = self.rng
+        metrics_were_on = m.enabled
+        # The per-lane passes must not multiply the activity counters;
+        # violations are re-counted from the list delta below.
+        m.enabled = False
+        try:
+            for k in range(self.lanes):
+                bit = 1 << k
+                self._pokes = {
+                    i: lane_value(p0, p1, k)
+                    for i, (p0, p1, pm) in self._bpokes.items()
+                    if pm & bit
+                }
+                self._reg_state = [
+                    lane_value(self._breg0[ri], self._breg1[ri], k)
+                    for ri in range(len(self._breg0))
+                ]
+                self.rng = self._lane_rngs[k]
+                before = len(self.violations)
+                try:
+                    self._evaluate_dataflow()
+                finally:
+                    for v in self.violations[before:]:
+                        v.lane = k
+                    if metrics_were_on:
+                        m.violations += len(self.violations) - before
+                for i, v in enumerate(self.values):
+                    if v is None:
+                        continue
+                    vb0, vb1 = LOGIC_PLANES[v]
+                    if vb0:
+                        out0[i] |= bit
+                    if vb1:
+                        out1[i] |= bit
+        finally:
+            m.enabled = metrics_were_on
+            self.rng = saved_rng
+            self._pokes = {}
+        self._bvals0 = out0
+        self._bvals1 = out1
+
+    def _batched_metrics(self) -> None:
+        """Activity accounting for one batched pass.  Net fires and
+        toggles follow lane 0 (the scalar-comparable view); gate and
+        driver evaluations count once per pass on the fast path (every
+        gate really is evaluated once, for all lanes); ``lane_cycles``
+        accumulates lanes-per-pass so throughput is lanes * cycles."""
+        m = self.metrics
+        prev = self._prev_values
+        fires = m.net_fires
+        toggles = m.net_toggles
+        fired = 0
+        for i, v in enumerate(self.values):
+            if v is None:
+                continue
+            fired += 1
+            fires[i] += 1
+            p = prev[i]
+            if p is not None and v is not p:
+                toggles[i] += 1
+        m.firings += fired
+        m.lane_cycles += self.lanes
+        sched = self._schedule
+        if sched is not None:
+            m.gate_evals += sched.n_gates
+            m.driver_evals += sched.n_drivers
+            evals = m.gate_eval_counts
+            gate_fires = m.gate_fire_counts
+            for gi in sched.gate_ids:
+                evals[gi] += 1
+                gate_fires[gi] += 1
 
     def _evaluate_levelized(self) -> None:
         """Fast path: one pass over the static schedule; the value array
@@ -599,6 +878,36 @@ class Simulator:
         self._record_violation(dst, [prior, value])
         return Logic.UNDEF
 
+    def _lane_conflict(
+        self, dst: int, lanes_mask: int, a0: int, a1: int, b0: int, b1: int
+    ) -> None:
+        """Batched-engine multi-drive hook: one violation per conflicted
+        lane (UNDEF resolution is applied by the caller's plane algebra).
+        In strict mode the lowest conflicted lane raises."""
+        mon = self._metrics_on
+        name = self._display[dst]
+        m = lanes_mask
+        while m:
+            low = m & -m
+            k = low.bit_length() - 1
+            self.violations.append(
+                Violation(
+                    self.cycle,
+                    name,
+                    [lane_value(a0, a1, k), lane_value(b0, b1, k)],
+                    lane=k,
+                )
+            )
+            if mon:
+                self.metrics.violations += 1
+            if self.strict:
+                raise SimulationError(
+                    f"multiple (0,1,UNDEF) assignments to signal "
+                    f"{name!r} in cycle {self.cycle} (lane {k}) "
+                    "(this would burn transistors)",
+                )
+            m ^= low
+
     def _record_violation(self, dst: int, values: list[Logic]) -> None:
         self.violations.append(
             Violation(self.cycle, self._display[dst], values)
@@ -613,6 +922,9 @@ class Simulator:
             )
 
     def _latch(self) -> None:
+        if self.lanes is not None:
+            self._latch_batched()
+            return
         mon = self._metrics_on
         for ri, di in enumerate(self._reg_d):
             v = self.values[di]
@@ -621,13 +933,36 @@ class Simulator:
                 if mon:
                     self.metrics.latches += 1
 
+    def _latch_batched(self) -> None:
+        """Per-lane REG latching: a lane with a driving (non-NOINFL)
+        ``in`` value stores it, every other lane keeps its old value."""
+        mon = self._metrics_on
+        M = self._lane_mask
+        b0 = self._bvals0
+        b1 = self._bvals1
+        r0 = self._breg0
+        r1 = self._breg1
+        for ri, di in enumerate(self._reg_d):
+            d0 = b0[di]
+            d1 = b1[di]
+            driving = d0 | d1
+            if not driving:
+                continue
+            keep = M & ~driving
+            r0[ri] = (r0[ri] & keep) | d0
+            r1[ri] = (r1[ri] & keep) | d1
+            if mon:
+                self.metrics.latches += driving.bit_count()
+
     # -- state management ------------------------------------------------------
 
     def reset_state(self) -> None:
         """Reset to a fresh run: registers back to UNDEF, cycle count,
         violations and activity metrics cleared, all signal values and
         pokes dropped (``peek`` reads UNDEF until the next cycle and no
-        stale poke leaks into the new run)."""
+        stale poke leaks into the new run).  On the batched engine this
+        also clears every lane: the plane values, the per-lane register
+        state, and the lane poke table."""
         self._reg_state = [Logic.UNDEF] * len(self._reg_state)
         self.cycle = 0
         self.violations.clear()
@@ -635,9 +970,36 @@ class Simulator:
         self._prev_values = [None] * len(self._prev_values)
         self.values = [None] * len(self.values)
         self._pokes.clear()
+        if self.lanes is not None:
+            M = self._lane_mask
+            self._breg0 = [M] * len(self._breg0)
+            self._breg1 = [M] * len(self._breg1)
+            self._bvals0 = [0] * len(self._bvals0)
+            self._bvals1 = [0] * len(self._bvals1)
+            self._bpokes.clear()
 
-    def registers(self) -> dict[str, Logic]:
-        """Current register contents by instance path."""
+    def registers(self, lane: int | None = None) -> dict[str, Logic]:
+        """Current register contents by instance path.
+
+        On the batched engine *lane* selects the stimulus lane (default
+        lane 0); the scalar engines only accept lane ``None``/``0``."""
+        if self.lanes is not None:
+            k = 0 if lane is None else lane
+            if not 0 <= k < self.lanes:
+                raise ValueError(
+                    f"lane {k} out of range 0..{self.lanes - 1}"
+                )
+            return {
+                reg.name or f"$reg{reg.id}": lane_value(
+                    self._breg0[i], self._breg1[i], k
+                )
+                for i, reg in enumerate(self.netlist.regs)
+            }
+        if lane not in (None, 0):
+            raise ValueError(
+                f"register lanes need engine='batched' "
+                f"(this simulator runs {self.engine!r})"
+            )
         return {
             reg.name or f"$reg{reg.id}": self._reg_state[i]
             for i, reg in enumerate(self.netlist.regs)
@@ -655,6 +1017,8 @@ class Simulator:
     def event_count(self) -> int:
         """Nets fired in the last evaluation (a work measure for the
         simulator-complexity benchmarks)."""
+        if self.lanes is not None and self._values_stale:
+            self._materialize_lane0()
         return sum(1 for v in self.values if v is not None)
 
 

@@ -13,13 +13,18 @@ A report is a plain JSON object:
         "spans":       [{name, path, start, duration_s, depth}, ...]
       },
       "sim": {                          # omitted if no simulation ran
-        "engine",                       # "levelized" | "dataflow"
+        "engine",                       # "levelized"|"dataflow"|"batched"
         "cycles", "firings", "firings_per_cycle_avg", "gate_evals",
         "driver_evals", "propagation_steps", "latches", "violations",
         "peak_cycle", "peak_cycle_firings",
         "firings_by_cycle": [...], "steps_by_cycle": [...],
         "nets":  [{"name", "toggles", "fires"}, ...],
-        "gates": [{"name", "evals", "fires"}, ...]
+        "gates": [{"name", "evals", "fires"}, ...],
+        "batched": {                    # present on the batched engine
+          "lanes",                      # stimulus lanes per pass
+          "lane_cycles",                # lanes * cycles evaluated
+          "fast_path"                   # true = bit-parallel schedule,
+        }                               # false = per-lane fallback
       },
       "lint": {                         # omitted if lint did not run
         "errors", "warnings", "notes", "suppressed",
@@ -197,6 +202,15 @@ def validate_report(report: dict) -> None:
             need(gate, "name", str, "sim.gates[]")
             need(gate, "evals", int, "sim.gates[]")
             need(gate, "fires", int, "sim.gates[]")
+        if "batched" in sim:
+            batched = need(sim, "batched", dict, "sim")
+            need(batched, "lanes", int, "sim.batched")
+            need(batched, "lane_cycles", int, "sim.batched")
+            need(batched, "fast_path", bool, "sim.batched")
+            if batched["lanes"] < 1:
+                raise ValueError(
+                    "metrics report: sim.batched.lanes must be >= 1"
+                )
 
     if "lint" in report:
         lint = need(report, "lint", dict, "report")

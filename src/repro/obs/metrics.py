@@ -49,9 +49,16 @@ class SimMetrics:
         self.net_names = net_names
         self.gate_labels = gate_labels
         self.reset()
-        #: which engine produced the counters ("levelized"/"dataflow");
-        #: set by the owning Simulator, survives reset().
+        #: which engine produced the counters ("levelized"/"dataflow"/
+        #: "batched"); set by the owning Simulator, survives reset().
         self.engine = "dataflow"
+        #: lane count on the batched engine (None on scalar engines);
+        #: set by the owning Simulator, survives reset().
+        self.lanes: int | None = None
+        #: True when the batched engine runs the bit-parallel schedule,
+        #: False on its per-lane dataflow fallback, None on scalar
+        #: engines; set by the owning Simulator, survives reset().
+        self.fast_path: bool | None = None
 
     def reset(self) -> None:
         n, g = len(self.net_names), len(self.gate_labels)
@@ -61,6 +68,8 @@ class SimMetrics:
         self.driver_evals = 0
         self.latches = 0
         self.violations = 0
+        #: total lanes evaluated (lanes * cycles on the batched engine).
+        self.lane_cycles = 0
         self.firings_per_cycle: list[int] = []
         self.steps_per_cycle: list[int] = []
         self.net_fires = [0] * n
@@ -141,7 +150,7 @@ class SimMetrics:
         gates = self.top_gates(
             top if top is not None else len(self.gate_labels)
         )
-        return {
+        report = {
             **self.summary(),
             "engine": self.engine,
             "firings_by_cycle": list(self.firings_per_cycle),
@@ -155,12 +164,23 @@ class SimMetrics:
                 for name, e, f in gates
             ],
         }
+        if self.lanes is not None:
+            report["batched"] = {
+                "lanes": self.lanes,
+                "lane_cycles": self.lane_cycles,
+                "fast_path": bool(self.fast_path),
+            }
+        return report
 
     def render(self, top: int = 10) -> str:
         """Human-readable activity report (the ``zeusc profile`` body)."""
         s = self.summary()
+        engine = self.engine
+        if self.lanes is not None:
+            mode = "bit-parallel" if self.fast_path else "per-lane fallback"
+            engine = f"{engine} ({self.lanes} lanes, {mode})"
         lines = [
-            f"engine            : {self.engine}",
+            f"engine            : {engine}",
             f"cycles            : {s['cycles']}",
             f"net firings       : {s['firings']} "
             f"({s['firings_per_cycle_avg']:.1f}/cycle)",
@@ -172,6 +192,8 @@ class SimMetrics:
             f"peak cycle        : #{s['peak_cycle']} "
             f"({s['peak_cycle_firings']} firings)",
         ]
+        if self.lanes is not None:
+            lines.insert(2, f"lane cycles       : {self.lane_cycles}")
         hot_nets = [x for x in self.top_nets(top) if x[1] or x[2]]
         if hot_nets:
             lines.append(f"hottest nets (top {len(hot_nets)}):")

@@ -59,8 +59,11 @@ class Testbench:
 
     ``reset_signal`` names the reset input (the predefined RSET by
     default); ``reset_drive`` maps inputs to hold during reset.
-    ``engine`` selects the simulation engine ("auto", "levelized" or
-    "dataflow" — see :class:`Simulator`).
+    ``engine`` selects the simulation engine ("auto", "levelized",
+    "dataflow" or "batched" — see :class:`Simulator`).  Setting
+    ``lanes`` selects the batched engine (unless another engine is named
+    explicitly): scalar drives/expects then observe lane 0, and
+    :meth:`drive_batch` / :meth:`peek_lanes` address all lanes.
     """
 
     __test__ = False  # not a pytest test class despite the name
@@ -70,14 +73,22 @@ class Testbench:
     seed: int = 0
     reset_signal: str = "RSET"
     engine: str = "auto"
+    lanes: int | None = None
     sim: Simulator = field(init=False)
     #: cycle-indexed log of expect() checks that passed, for reporting.
     checked: int = 0
 
     def __post_init__(self) -> None:
-        self.sim = self.circuit.simulator(
-            strict=self.strict, seed=self.seed, engine=self.engine
+        engine = self.engine
+        if self.lanes is not None and engine == "auto":
+            engine = "batched"
+        kwargs: dict[str, Any] = dict(
+            strict=self.strict, seed=self.seed, engine=engine
         )
+        if self.lanes is not None:
+            kwargs["lanes"] = self.lanes
+        self.sim = self.circuit.simulator(**kwargs)
+        self.engine = self.sim.engine
 
     # -- driving ---------------------------------------------------------
 
@@ -90,6 +101,22 @@ class Testbench:
     def release(self, *names: str) -> "Testbench":
         for name in names:
             self.sim.unpoke(name.replace("__", "."))
+        return self
+
+    def drive_batch(self, stimulus) -> "Testbench":
+        """Apply a :class:`~repro.core.batched.BatchStimulus` (or any
+        mapping of path -> per-lane values) to the batched engine."""
+        apply = getattr(stimulus, "apply", None)
+        if apply is not None:
+            apply(self.sim)
+        else:
+            for path, values in stimulus.items():
+                self.sim.poke_lanes(path, values)
+        return self
+
+    def drive_lanes(self, path: str, values) -> "Testbench":
+        """Poke one signal per lane (batched engine only)."""
+        self.sim.poke_lanes(path.replace("__", "."), values)
         return self
 
     def clock(self, cycles: int = 1) -> "Testbench":
@@ -126,6 +153,14 @@ class Testbench:
 
     def peek_int(self, path: str) -> int | None:
         return self.sim.peek_int(path)
+
+    def peek_lanes(self, path: str) -> list[list[Logic]]:
+        """Per-lane peek (batched engine only)."""
+        return self.sim.peek_lanes(path)
+
+    def peek_lane_int(self, path: str, lane: int) -> int | None:
+        """One lane's numeric value (batched engine only)."""
+        return self.sim.peek_lane_int(path, lane)
 
     def expect(self, **expectations: Any) -> "Testbench":
         """Check signals against expected values (ints for vectors,

@@ -1,12 +1,26 @@
-"""Differential fuzzing: random Zeus programs vs. a Python model.
+"""Differential fuzzing: random Zeus programs vs. a Python model and
+across all three engines.
 
-A generator builds random combinational DAGs (and register pipelines),
-renders them as Zeus text, and checks the simulator against direct
-evaluation of the same DAG in Python -- over every input vector for
-small input counts.  This is the broadest single safety net in the
-suite: it exercises parser, elaborator, checker and simulator together.
+The generator lives in :mod:`repro.analysis.fuzzgen` (shared with the
+nightly long-budget runner, ``scripts/fuzz_nightly.py``).  The fast
+slice here checks
+
+* random combinational DAGs against direct Python evaluation of the
+  same DAG (the historical safety net), and
+* the extended generator's full repertoire -- multiplex nets with
+  guarded (and deliberately conflictable) drivers, REG pipelines with
+  guarded loads, FOR/WHEN meta-programmed replication -- differentially
+  across dataflow (the oracle), levelized and batched, lane by lane.
+
+Long-budget cases are marked ``slow`` and skipped unless the
+``ZEUS_FUZZ_LONG`` environment variable is set (the nightly CI job sets
+it; tier-1 stays fast).
+
+``build_dag``/``render_zeus``/``eval_dag`` are re-exported here because
+``tests/test_engines.py`` imports them from this module.
 """
 
+import os
 import random
 
 import pytest
@@ -14,68 +28,23 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 import repro
+from repro.analysis.fuzzgen import (
+    OPS,
+    build_dag,
+    default_failure_predicate,
+    differential_check,
+    eval_dag,
+    generate_program,
+    render_zeus,
+    shrink,
+)
 
-OPS = ["AND", "OR", "NAND", "NOR", "XOR"]
+__all__ = ["OPS", "build_dag", "render_zeus", "eval_dag"]
 
-
-def build_dag(rng, n_inputs, n_nodes):
-    """Nodes are (op, operand indices); operand < current index refers to
-    a previous node, operand < n_inputs to an input."""
-    nodes = []
-    for i in range(n_nodes):
-        op = rng.choice(OPS + ["NOT"])
-        pool = n_inputs + i
-        if op == "NOT":
-            args = [rng.randrange(pool)]
-        else:
-            args = [rng.randrange(pool) for _ in range(rng.choice([2, 2, 3]))]
-        nodes.append((op, args))
-    return nodes
-
-
-def render_zeus(n_inputs, nodes):
-    ins = ", ".join(f"i{k}" for k in range(n_inputs))
-    lines = []
-    for i, (op, args) in enumerate(nodes):
-        def name(j):
-            return f"i{j}" if j < n_inputs else f"s{j - n_inputs}"
-
-        if op == "NOT":
-            expr = f"NOT {name(args[0])}"
-        else:
-            expr = f"{op}({', '.join(name(a) for a in args)})"
-        lines.append(f"    s{i} := {expr};")
-    body = "\n".join(lines)
-    sigs = ", ".join(f"s{i}" for i in range(len(nodes)))
-    return f"""
-TYPE t = COMPONENT (IN {ins}: boolean; OUT y: boolean) IS
-SIGNAL {sigs}: boolean;
-BEGIN
-{body}
-    y := s{len(nodes) - 1}
-END;
-SIGNAL u: t;
-"""
-
-
-def eval_dag(n_inputs, nodes, inputs):
-    values = list(inputs)
-    for op, args in nodes:
-        vals = [values[a] for a in args]
-        if op == "NOT":
-            out = 1 - vals[0]
-        elif op == "AND":
-            out = int(all(vals))
-        elif op == "OR":
-            out = int(any(vals))
-        elif op == "NAND":
-            out = 1 - int(all(vals))
-        elif op == "NOR":
-            out = 1 - int(any(vals))
-        else:  # XOR
-            out = sum(vals) % 2
-        values.append(out)
-    return values[-1]
+long_fuzz = pytest.mark.skipif(
+    not os.environ.get("ZEUS_FUZZ_LONG"),
+    reason="long-budget fuzz (set ZEUS_FUZZ_LONG=1; the nightly job does)",
+)
 
 
 @given(st.integers(0, 10_000))
@@ -183,6 +152,112 @@ SIGNAL u: t;
         for k in range(n_guards):
             sim.poke(f"g{k}", (vector >> k) & 1)
         sim.step()
-    active = [k for k in range(n_guards)]
     # With all guards on there must be recorded violations.
     assert sim.violations
+
+
+# -- the extended generator, three engines, lane by lane ------------------
+
+
+@pytest.mark.fuzz
+class TestExtendedDifferential:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_full_repertoire(self, seed):
+        """Mux + REG + meta-programmed programs: dataflow (oracle) vs
+        levelized vs batched, per-cycle outputs, final registers and
+        per-lane violations."""
+        prog = generate_program(seed)
+        res = differential_check(
+            prog.text, cycles=3, n_vectors=4, seed=seed
+        )
+        assert res.ok, f"seed {seed}: {res.detail}\n{prog.text}"
+
+    @pytest.mark.parametrize("shape", ["mux", "regs", "meta"])
+    def test_each_shape_alone(self, shape):
+        """Each extension in isolation still agrees across engines."""
+        flags = {
+            "allow_mux": shape == "mux",
+            "allow_regs": shape == "regs",
+            "allow_meta": shape == "meta",
+        }
+        hit = 0
+        for seed in range(30):
+            prog = generate_program(seed, **flags)
+            marker = {
+                "mux": "multiplex",
+                "regs": ": REG",
+                "meta": "chain",
+            }[shape]
+            if marker not in prog.text:
+                continue
+            hit += 1
+            res = differential_check(prog.text, cycles=3, n_vectors=3,
+                                     seed=seed)
+            assert res.ok, f"{shape} seed {seed}: {res.detail}\n{prog.text}"
+        assert hit >= 5, f"generator barely exercises {shape}"
+
+    def test_conflicting_drivers_violations_agree(self):
+        """Find a generated program whose stimuli actually conflict and
+        make sure the differential check (which compares violation logs)
+        still passes on it."""
+        for seed in range(200):
+            prog = generate_program(seed, allow_regs=False, allow_meta=False)
+            if "multiplex" not in prog.text:
+                continue
+            circuit = repro.compile_text(prog.text, name="f", strict=False)
+            sim = circuit.simulator(engine="dataflow", strict=False)
+            for name in prog.inputs():
+                sim.poke(name, 1)
+            sim.step()
+            if not sim.violations:
+                continue
+            res = differential_check(
+                prog.text, cycles=2,
+                vectors=[{name: 1 for name in prog.inputs()}],
+            )
+            assert res.ok, res.detail
+            return
+        pytest.fail("no conflicting program found in 200 seeds")
+
+    def test_shrinker_produces_minimal_failing_program(self):
+        """Drive the shrinker with a synthetic predicate ("contains a
+        NOT statement") and check it reaches a 1-statement program that
+        still compiles and satisfies the predicate."""
+
+        def failing(prog):
+            try:
+                repro.compile_text(prog.text, name="f", strict=False)
+            except Exception:
+                return False
+            return any("NOT" in s for s in prog.stmts)
+
+        for seed in range(50):
+            prog = generate_program(seed)
+            if not failing(prog):
+                continue
+            small = shrink(prog, failing)
+            assert failing(small)
+            assert len(small.stmts) == 1
+            return
+        pytest.fail("no seed produced a NOT statement")
+
+    def test_default_predicate_rejects_uncompilable(self):
+        prog = generate_program(0)
+        prog.stmts.append("this is not zeus")
+        assert not default_failure_predicate()(prog)
+
+
+@long_fuzz
+@pytest.mark.slow
+@pytest.mark.fuzz
+class TestLongBudget:
+    """The nightly budget, in-process (ZEUS_FUZZ_LONG=1)."""
+
+    @pytest.mark.parametrize("block", range(4))
+    def test_extended_differential_block(self, block):
+        for seed in range(block * 250, (block + 1) * 250):
+            prog = generate_program(seed)
+            res = differential_check(
+                prog.text, cycles=4, n_vectors=8, seed=seed
+            )
+            assert res.ok, f"seed {seed}: {res.detail}\n{prog.text}"
