@@ -99,15 +99,17 @@ def run_benchmark(cycles, seed=0):
     return results
 
 
-def merge_into_summary(out_path, results):
-    """Add the ``batched`` section to an existing bench_engines summary
-    (or start a fresh one when the file does not exist)."""
+def merge_into_summary(out_path, results, key="batched"):
+    """Add one top-level section (``batched`` by default; *key* for
+    other benchmark drivers, e.g. ``flight``) to an existing
+    bench_engines summary (or start a fresh one when the file does not
+    exist)."""
     if os.path.exists(out_path):
         with open(out_path, encoding="utf-8") as f:
             summary = json.load(f)
     else:
         summary = {"schema": "zeus.bench.simulator/1", "workloads": {}}
-    summary["batched"] = results
+    summary[key] = results
     with open(out_path, "w", encoding="utf-8") as f:
         json.dump(summary, f, indent=2, sort_keys=True)
         f.write("\n")

@@ -1,0 +1,145 @@
+"""Flight-recorder overhead benchmark: recording cost on blackjack.
+
+Measures blackjack cycles/sec on all three engines in three recorder
+configurations:
+
+* **off**    -- no recorder (``flight=None``); the hot loop pays one
+  ``is not None`` test and one ``len()`` per cycle;
+* **paused** -- a recorder is bound but ``enabled=False``; a strict
+  superset of the *off* path (adds the ``record()`` call and its early
+  return), so ``off/paused`` is a conservative upper bound on the
+  disabled-path overhead;
+* **on**     -- a 64-cycle ring actively recording every cycle.
+
+Results are merged into the repo-root ``BENCH_simulator.json`` under a
+``flight`` key.  Used by hand to refresh the committed numbers and by
+CI with the acceptance bars::
+
+    PYTHONPATH=src python benchmarks/bench_flight.py \
+        --cycles 2000 --out BENCH_simulator.json \
+        --max-overhead 2.0 --max-disabled-overhead 1.05
+
+(the PR-6 acceptance: enabled recording costs at most 2x, the disabled
+path at most 5%, on blackjack).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import repro
+from repro.obs.flight import FlightRecorder
+from repro.stdlib import programs
+
+from bench_batched import merge_into_summary
+
+ENGINES = ("levelized", "dataflow", "batched")
+MODES = ("off", "paused", "on")
+CAPACITY = 64
+
+#: steady-state blackjack drive (mirrors bench_engines.WORKLOADS).
+POKES = {"RSET": 0, "ycard": 0, "value": 0}
+
+
+def measure(circuit, engine, mode, cycles, seed=0):
+    """Blackjack cycles/sec for one (engine, recorder-mode) pair."""
+    kwargs = {"seed": seed, "engine": engine}
+    if engine == "batched":
+        kwargs["lanes"] = 64
+    if mode != "off":
+        recorder = FlightRecorder(CAPACITY)
+        recorder.enabled = mode == "on"
+        kwargs["flight"] = recorder
+    sim = circuit.simulator(**kwargs)
+    sim.poke("RSET", 1)
+    sim.step()
+    for sig, val in POKES.items():
+        sim.poke(sig, val)
+    sim.step()  # warm (schedule built, caches hot)
+    t0 = time.perf_counter()
+    sim.step(cycles)
+    elapsed = time.perf_counter() - t0
+    if mode == "on" and len(sim.flight) != min(cycles + 2, CAPACITY):
+        raise RuntimeError("recorder did not record; not benchmarking it")
+    return cycles / elapsed
+
+
+def run_benchmark(cycles, seed=0):
+    circuit = repro.compile_text(programs.BLACKJACK)
+    results = {"workload": "blackjack", "cycles": cycles,
+               "capacity": CAPACITY}
+    for engine in ENGINES:
+        rates = {
+            mode: measure(circuit, engine, mode, cycles, seed=seed)
+            for mode in MODES
+        }
+        results[engine] = {
+            "cycles_per_s": rates,
+            "overhead": {
+                # conservative bound on the disabled-path cost
+                "paused_vs_off": rates["off"] / rates["paused"],
+                # full recording cost
+                "on_vs_off": rates["off"] / rates["on"],
+            },
+        }
+    return results
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--cycles", type=int, default=2000,
+                    help="cycles per measurement (default 2000)")
+    ap.add_argument("--out", default="BENCH_simulator.json",
+                    help="summary JSON to merge into")
+    ap.add_argument("--max-overhead", type=float, default=None,
+                    help="fail unless enabled overhead (on_vs_off) stays "
+                         "under this factor on every engine")
+    ap.add_argument("--max-disabled-overhead", type=float, default=None,
+                    help="fail unless the paused_vs_off bound stays "
+                         "under this factor on every engine")
+    ap.add_argument("--seed", type=int, default=0)
+    args = ap.parse_args(argv)
+
+    results = run_benchmark(args.cycles, seed=args.seed)
+    failed = []
+    for engine in ENGINES:
+        r = results[engine]
+        rates, over = r["cycles_per_s"], r["overhead"]
+        print(f"{engine:10s} off {rates['off']:>10,.0f} c/s   "
+              f"paused {rates['paused']:>10,.0f} c/s   "
+              f"on {rates['on']:>10,.0f} c/s   "
+              f"overhead {over['on_vs_off']:.2f}x "
+              f"(paused {over['paused_vs_off']:.2f}x)")
+        if args.max_overhead is not None and \
+                over["on_vs_off"] > args.max_overhead:
+            failed.append(f"{engine}: enabled overhead "
+                          f"{over['on_vs_off']:.2f}x > {args.max_overhead}x")
+        if args.max_disabled_overhead is not None and \
+                over["paused_vs_off"] > args.max_disabled_overhead:
+            failed.append(f"{engine}: disabled-path bound "
+                          f"{over['paused_vs_off']:.2f}x > "
+                          f"{args.max_disabled_overhead}x")
+    summary = merge_into_summary(args.out, results, key="flight")
+    assert summary["flight"] == results
+    print(f"wrote {args.out}")
+    for line in failed:
+        print(f"FAIL: {line}")
+    return 1 if failed else 0
+
+
+# -- tier-1 smoke (bench_*.py files are collected by pytest) ---------------
+
+def test_bench_flight_summary_shape(tmp_path):
+    out = tmp_path / "BENCH_simulator.json"
+    results = run_benchmark(cycles=15)
+    for engine in ENGINES:
+        rates = results[engine]["cycles_per_s"]
+        assert all(rates[m] > 0 for m in MODES)
+        assert results[engine]["overhead"]["on_vs_off"] > 0
+    summary = merge_into_summary(str(out), results, key="flight")
+    assert summary["flight"]["workload"] == "blackjack"
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

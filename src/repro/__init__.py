@@ -92,16 +92,22 @@ def compile_text(
     *,
     name: str = "<string>",
     strict: bool = True,
+    registry=None,
 ) -> Circuit:
     """Parse, elaborate and statically check a Zeus program text.
 
     *top* names the top-level signal declaration to instantiate (default:
     the last component-typed one).  With ``strict=False``, check errors
     are collected in ``Circuit.diagnostics`` instead of raised.
+
+    *registry* (a :class:`~repro.obs.SpanRegistry`) collects this
+    compile's phase spans privately instead of on the process-wide
+    default — library embedders running concurrent compiles should each
+    pass their own.
     """
     from .obs.spans import span
 
-    with span("compile", source=name):
+    with span("compile", source=name, registry=registry):
         source = SourceText(text, name)
         program = parse(source)
         design = elaborate(program, top=top, source=source)

@@ -8,10 +8,17 @@ Subcommands:
   overrides (``-W``/``-E``/``--disable``) and text/json/sarif output;
 * ``stats FILE``     -- netlist statistics after elaboration;
 * ``sim FILE``       -- simulate N cycles with optional pokes, print
-  the requested signals per cycle (or write a VCD);
+  the requested signals per cycle (or write a VCD); ``--flight N``
+  records the last N cycles in the flight recorder and ``--trace-out``
+  dumps the window as ``zeus.trace/1`` JSON;
+* ``explain FILE``   -- causal "why" explanation: simulate with the
+  flight recorder on and walk ``--net X --cycle C`` backward through
+  the recorded firings to the minimal causal cone (text tree, DOT, or
+  ``zeus.trace/1`` JSON);
 * ``profile FILE``   -- compile-phase timings (lex/parse/elaborate/
   check) plus simulator activity: firing statistics, cycles/sec, and
-  the top-N hottest nets and gates;
+  the top-N hottest nets and gates; ``--chrome FILE`` exports the run
+  as Chrome trace-event JSON for Perfetto;
 * ``layout FILE``    -- compute and print the floorplan;
 * ``analyze FILE``   -- logic depth, critical path, fan-out statistics;
 * ``prove FILE``     -- zeusprove bounded model checking with
@@ -99,6 +106,18 @@ def _add_engine(p: argparse.ArgumentParser) -> None:
         "--engine", choices=ENGINES, default="auto",
         help="simulation engine: levelized fast path, dataflow firing, "
              "or auto (levelized when the design can be scheduled)",
+    )
+
+
+def _add_flight(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--flight", type=int, default=None, metavar="N",
+        help="record the last N cycles in the flight recorder",
+    )
+    p.add_argument(
+        "--trace-out", metavar="FILE",
+        help="write the recorded window as zeus.trace/1 JSON "
+             "(implies --flight over the whole run)",
     )
 
 
@@ -197,6 +216,32 @@ def main(argv: list[str] | None = None) -> int:
              "else 64)",
     )
     _add_engine(p)
+    _add_flight(p)
+
+    p = sub.add_parser(
+        "explain",
+        help="causal 'why' explanation of a net value at a cycle",
+    )
+    _add_common(p)
+    p.add_argument("--net", required=True, metavar="SIG",
+                   help="the signal to explain")
+    p.add_argument("--cycle", type=int, required=True, metavar="C",
+                   help="the cycle to explain it at")
+    p.add_argument("--cycles", type=int, default=None,
+                   help="cycles to simulate (default: CYCLE+1)")
+    _add_pokes(p)
+    p.add_argument("--seed", type=int, default=0)
+    _add_engine(p)
+    p.add_argument("--flight", type=int, default=None, metavar="N",
+                   help="flight-recorder capacity in cycles "
+                        "(default: the whole run)")
+    p.add_argument("--max-nodes", type=int, default=500, metavar="N",
+                   help="causal-cone walk budget (default 500)")
+    p.add_argument("--format", choices=("text", "dot", "json"),
+                   default="text",
+                   help="text tree, Graphviz DOT, or zeus.trace/1 JSON")
+    p.add_argument("-o", "--output", metavar="FILE",
+                   help="write the explanation to FILE instead of stdout")
 
     p = sub.add_parser(
         "profile",
@@ -211,6 +256,9 @@ def main(argv: list[str] | None = None) -> int:
                    help="hottest nets/gates to list (default 10)")
     p.add_argument("--seed", type=int, default=0)
     _add_engine(p)
+    p.add_argument("--chrome", metavar="FILE",
+                   help="write the run as Chrome trace-event JSON "
+                        "(load in Perfetto / chrome://tracing)")
 
     p = sub.add_parser("layout", help="compute the floorplan")
     _add_common(p)
@@ -283,9 +331,15 @@ def main(argv: list[str] | None = None) -> int:
             print(line)
         return 0
 
-    # Capture this invocation's compile-phase spans on a fresh registry.
-    registry = _spans.REGISTRY
-    registry.reset()
+    # Capture this invocation's compile-phase spans on a private
+    # registry (the process-wide REGISTRY is left untouched, so library
+    # embedders running zeusc in-process do not race it).
+    registry = _spans.SpanRegistry()
+    with _spans.use_registry(registry):
+        return _dispatch(args, registry)
+
+
+def _dispatch(args: argparse.Namespace, registry) -> int:
     if args.cmd == "equiv":
         return _equiv(args, registry)
 
@@ -375,6 +429,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.cmd == "profile":
         return _guard_runtime(lambda: _profile(args, circuit, registry))
 
+    if args.cmd == "explain":
+        return _guard_runtime(lambda: _explain(args, circuit, registry))
+
     return _guard_runtime(lambda: _sim(args, circuit, registry))
 
 
@@ -432,7 +489,7 @@ def _sim_batched(args: argparse.Namespace, circuit: Circuit, registry) -> int:
         return 2
     sim = circuit.simulator(
         seed=args.seed, strict=not args.lenient, metrics=bool(args.metrics),
-        engine="batched", lanes=lanes,
+        engine="batched", lanes=lanes, flight=_flight_capacity(args),
     )
     if stim is not None:
         stim.apply(sim)
@@ -469,6 +526,7 @@ def _sim_batched(args: argparse.Namespace, circuit: Circuit, registry) -> int:
         print(f"{len(sim.violations)} runtime violation(s):")
         for v in sim.violations:
             print(f"  {v}")
+    _write_trace_out(args, circuit, sim)
     if args.metrics:
         write_metrics(
             args.metrics,
@@ -478,13 +536,32 @@ def _sim_batched(args: argparse.Namespace, circuit: Circuit, registry) -> int:
     return 0
 
 
+def _flight_capacity(args: argparse.Namespace) -> int | None:
+    """The flight-recorder capacity for a ``sim`` run: ``--flight N``,
+    or the whole run when ``--trace-out`` is given without it."""
+    if args.flight is not None:
+        return args.flight
+    if args.trace_out:
+        return max(args.cycles, 1)
+    return None
+
+
+def _write_trace_out(args: argparse.Namespace, circuit: Circuit, sim) -> None:
+    if not args.trace_out:
+        return
+    from .obs import trace_report, write_trace
+
+    write_trace(args.trace_out, trace_report(circuit, sim))
+    print(f"wrote {args.trace_out}")
+
+
 def _sim(args: argparse.Namespace, circuit: Circuit, registry) -> int:
     """The ``zeusc sim`` body: run the cycles, print the trace."""
     if args.batch or args.lanes is not None or args.engine == "batched":
         return _sim_batched(args, circuit, registry)
     sim = circuit.simulator(
         seed=args.seed, strict=not args.lenient, metrics=bool(args.metrics),
-        engine=args.engine,
+        engine=args.engine, flight=_flight_capacity(args),
     )
     pokes = _parse_pokes(args.poke)
     watch = args.watch or [p.name for p in circuit.netlist.ports]
@@ -505,6 +582,7 @@ def _sim(args: argparse.Namespace, circuit: Circuit, registry) -> int:
     if args.vcd:
         trace.write_vcd(args.vcd, circuit.name)
         print(f"wrote {args.vcd}")
+    _write_trace_out(args, circuit, sim)
     if args.metrics:
         write_metrics(
             args.metrics,
@@ -560,6 +638,52 @@ def _lint(args: argparse.Namespace, circuit: Circuit, registry) -> int:
     return report.exit_code()
 
 
+def _explain(args: argparse.Namespace, circuit: Circuit, registry) -> int:
+    """The ``zeusc explain`` body: simulate with the flight recorder on,
+    then walk the causal cone of ``--net`` at ``--cycle``.
+
+    The run is always lenient (strict mode would abort at the very
+    conflict being diagnosed); an unknown net or a cycle outside the
+    recorded window is an error under the exit-code contract (2)."""
+    import json
+
+    from .obs import causal, export
+
+    cycles = args.cycles if args.cycles is not None else args.cycle + 1
+    if cycles < 1:
+        print(f"error: --cycle {args.cycle} is before the first cycle (0)",
+              file=sys.stderr)
+        return 2
+    capacity = args.flight if args.flight is not None else cycles
+    sim = circuit.simulator(
+        seed=args.seed, strict=False, engine=args.engine, flight=capacity,
+    )
+    pokes = _parse_pokes(args.poke)
+    for t in range(cycles):
+        for cycle, sig, val in pokes:
+            if cycle == t:
+                sim.poke(sig, val)
+        sim.step()
+    explanation = causal.explain(
+        sim, args.net, args.cycle, max_nodes=args.max_nodes
+    )
+    if args.format == "dot":
+        text = explanation.render_dot() + "\n"
+    elif args.format == "json":
+        report = export.trace_report(circuit, sim, explanation=explanation)
+        export.validate_trace_report(report)
+        text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    else:
+        text = explanation.render_text() + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def _profile(args: argparse.Namespace, circuit: Circuit, registry) -> int:
     """The ``zeusc profile`` body: phase timings, activity statistics,
     hottest nets/gates, optional JSON export."""
@@ -590,6 +714,13 @@ def _profile(args: argparse.Namespace, circuit: Circuit, registry) -> int:
     rate = args.cycles / elapsed if elapsed > 0 else float("inf")
     print(f"\nwall clock        : {elapsed * 1e3:.2f} ms "
           f"for {args.cycles} cycles ({rate:,.0f} cycles/sec)")
+    if args.chrome:
+        from .obs import chrome_trace, write_chrome_trace
+
+        write_chrome_trace(
+            args.chrome, chrome_trace(registry, sim, elapsed=elapsed)
+        )
+        print(f"wrote {args.chrome}")
     if args.metrics:
         write_metrics(
             args.metrics,

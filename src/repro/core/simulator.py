@@ -119,6 +119,7 @@ class Simulator:
         metrics: bool = False,
         engine: str = "auto",
         lanes: int = 64,
+        flight=None,
     ):
         self.design = design
         self.netlist = design.netlist
@@ -284,6 +285,18 @@ class Simulator:
         self.metrics.lanes = self.lanes
         if self.lanes is not None:
             self.metrics.fast_path = self._batched_fast
+
+        # Flight recorder (repro.obs.flight): ``flight=N`` is shorthand
+        # for a fresh recorder holding the last N cycles.
+        if flight is None:
+            self.flight = None
+        else:
+            from ..obs.flight import FlightRecorder
+
+            if isinstance(flight, int):
+                flight = FlightRecorder(flight)
+            flight.bind(self)
+            self.flight = flight
 
     @property
     def record_firing(self) -> bool:
@@ -508,10 +521,12 @@ class Simulator:
     def step(self, cycles: int = 1) -> None:
         """Run *cycles* full clock cycles (evaluate + latch)."""
         m = self.metrics
+        fl = self.flight
         for _ in range(cycles):
             if m.enabled:
                 f0 = m.firings
                 w0 = m.gate_evals + m.driver_evals
+            v0 = len(self.violations)
             self.evaluate()
             self._latch()
             if m.enabled:
@@ -519,6 +534,8 @@ class Simulator:
                 m.firings_per_cycle.append(m.firings - f0)
                 m.steps_per_cycle.append(m.gate_evals + m.driver_evals - w0)
                 self._prev_values = list(self.values)
+            if fl is not None:
+                fl.record(self, self.violations[v0:])
             if self._traces:
                 if self.lanes is not None and self._values_stale:
                     self._materialize_lane0()
@@ -970,6 +987,8 @@ class Simulator:
         self._prev_values = [None] * len(self._prev_values)
         self.values = [None] * len(self.values)
         self._pokes.clear()
+        if self.flight is not None:
+            self.flight.reset()
         if self.lanes is not None:
             M = self._lane_mask
             self._breg0 = [M] * len(self._breg0)

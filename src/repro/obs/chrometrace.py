@@ -1,0 +1,182 @@
+"""Chrome trace-event export (Perfetto / ``chrome://tracing``).
+
+Turns one zeusc run into a trace-event JSON object with two process
+tracks:
+
+* **pid 1 — compile**: one ``ph:"X"`` complete slice per recorded
+  compile span (lex / parse / elaborate / check / schedule), nested by
+  the span stack, at real wall-clock timestamps;
+* **pid 2 — simulate**: one ``ph:"X"`` slice per simulated cycle plus
+  ``ph:"C"`` counter tracks (``firings``, ``gate_evals`` [gate+driver
+  work], ``violations``) sampled at each cycle boundary.
+
+The simulator does not timestamp individual cycles (that would defeat
+the hot loop), so the sim track divides the measured sim wall time
+evenly across cycles — slice *widths* are an average, slice *contents*
+(the counters) are exact per-cycle numbers from
+:class:`~repro.obs.metrics.SimMetrics`.  Timestamps are microseconds,
+as the format requires; the sim track starts where the compile track
+ends.
+
+:func:`validate_chrome_trace` checks the invariants Perfetto needs
+(every event has ``ph``/``name``/``ts``; ``X`` events carry ``dur``;
+counter args are numeric) and is the contract the tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from .spans import SpanRegistry
+
+if TYPE_CHECKING:
+    from ..core.simulator import Simulator
+
+#: Synthetic per-cycle slice width (µs) when no wall time was measured.
+DEFAULT_CYCLE_US = 10.0
+
+PID_COMPILE = 1
+PID_SIM = 2
+
+
+def chrome_trace(
+    registry: SpanRegistry | None = None,
+    sim: "Simulator | None" = None,
+    *,
+    elapsed: float | None = None,
+    max_cycles: int = 100_000,
+) -> dict:
+    """Assemble the trace-event JSON object.  *elapsed* is the measured
+    sim wall time in seconds (divided evenly across cycles); *max_cycles*
+    caps the per-cycle slices so a huge run cannot produce an unloadable
+    file (the counter totals still cover every cycle)."""
+    events: list[dict] = []
+    t = 0.0
+
+    if registry is not None and registry.spans:
+        events.append(_meta(PID_COMPILE, "process_name", "zeusc compile"))
+        events.append(_meta(PID_COMPILE, "thread_name", "phases", tid=1))
+        t0 = min(sp.start for sp in registry.spans)
+        for sp in registry.spans:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": PID_COMPILE,
+                    "tid": 1,
+                    "name": sp.name,
+                    "cat": "compile",
+                    "ts": (sp.start - t0) * 1e6,
+                    "dur": sp.duration * 1e6,
+                    "args": {"path": sp.path, **sp.meta},
+                }
+            )
+            t = max(t, (sp.start - t0 + sp.duration) * 1e6)
+
+    if sim is not None and sim.metrics.enabled and sim.metrics.cycles:
+        m = sim.metrics
+        events.append(_meta(PID_SIM, "process_name", "zeus sim"))
+        events.append(_meta(PID_SIM, "thread_name", f"{sim.engine} engine", tid=1))
+        cycle_us = (
+            elapsed * 1e6 / m.cycles
+            if elapsed is not None and elapsed > 0
+            else DEFAULT_CYCLE_US
+        )
+        viols_by_cycle: dict[int, int] = {}
+        for v in sim.violations:
+            viols_by_cycle[v.cycle] = viols_by_cycle.get(v.cycle, 0) + 1
+        shown = min(m.cycles, max_cycles)
+        for c in range(shown):
+            ts = t + c * cycle_us
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": PID_SIM,
+                    "tid": 1,
+                    "name": f"cycle {c}",
+                    "cat": "sim",
+                    "ts": ts,
+                    "dur": cycle_us,
+                    "args": {
+                        "firings": m.firings_per_cycle[c],
+                        "work": m.steps_per_cycle[c],
+                    },
+                }
+            )
+            events.append(_counter(ts, "firings", m.firings_per_cycle[c]))
+            events.append(_counter(ts, "gate_evals", m.steps_per_cycle[c]))
+            events.append(
+                _counter(ts, "violations", viols_by_cycle.get(c, 0))
+            )
+
+    trace = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "zeusc profile --chrome"},
+    }
+    return trace
+
+
+def _meta(pid: int, name: str, value: str, tid: int = 0) -> dict:
+    return {
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "ts": 0,
+        "name": name,
+        "args": {"name": value},
+    }
+
+
+def _counter(ts: float, name: str, value: int) -> dict:
+    return {
+        "ph": "C",
+        "pid": PID_SIM,
+        "tid": 0,
+        "ts": ts,
+        "name": name,
+        "args": {name: value},
+    }
+
+
+def write_chrome_trace(path: str, trace: dict) -> None:
+    """Validate and write trace-event JSON."""
+    validate_chrome_trace(trace)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(trace, f)
+        f.write("\n")
+
+
+def validate_chrome_trace(trace: dict) -> None:
+    """Raise ``ValueError`` unless *trace* is well-formed trace-event
+    JSON: a dict with a ``traceEvents`` list whose entries all carry
+    ``ph``/``name``/``ts`` (``X`` slices also ``dur``; ``C`` counters
+    numeric args)."""
+    if not isinstance(trace, dict):
+        raise ValueError("chrome trace must be a JSON object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("chrome trace: traceEvents must be a list")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            raise ValueError(f"chrome trace: {where} must be an object")
+        for key, types in (("ph", str), ("name", str), ("ts", (int, float))):
+            if not isinstance(ev.get(key), types):
+                raise ValueError(
+                    f"chrome trace: {where}.{key} missing or not {types}"
+                )
+        if ev["ph"] == "X" and not isinstance(ev.get("dur"), (int, float)):
+            raise ValueError(f"chrome trace: {where} X slice needs dur")
+        if ev["ph"] == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                raise ValueError(
+                    f"chrome trace: {where} counter needs args"
+                )
+            for k, v in args.items():
+                if not isinstance(v, (int, float)):
+                    raise ValueError(
+                        f"chrome trace: {where} counter arg {k!r} must "
+                        "be numeric"
+                    )

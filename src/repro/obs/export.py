@@ -44,6 +44,36 @@ A report is a plain JSON object:
 
 :func:`validate_report` is the schema's executable definition — the
 docs, the tests and the CLI all go through it.
+
+This module also defines the ``zeus.trace/1`` schema: the serialised
+form of a flight-recorder window (:mod:`repro.obs.flight`), optionally
+carrying a causal explanation (:mod:`repro.obs.causal`):
+
+.. code-block:: none
+
+    {
+      "schema": "zeus.trace/1",
+      "design": {"name", "nets", "gates", "connections", "registers"},
+      "engine",                         # "levelized"|"dataflow"|"batched"
+      "lanes",                          # int | null (scalar engines)
+      "window": {"first", "last",       # recorded cycle range (null/empty)
+                 "capacity", "recorded", "dropped"},
+      "events": [                       # time-ordered
+        {"cycle", "kind",               # "fire"|"latch"|"poke"|"violation"
+         "net", "value",               # value as "0"|"1"|"UNDEF"|"NOINFL"
+         "cause"?,                     # static producer / event cause
+         "lane"?,                      # violations on the batched engine
+         "values"?},                   # the conflicting drive values
+      ],
+      "explanation"?: {                 # from `zeusc explain`
+        "target": {"path", "cycle", "value"},
+        "engine", "node_count", "truncated",
+        "tree": [{ "net", "cycle", "value", "reason",
+                   "shared"?, "truncated"?, "children"? }, ...]
+      }
+    }
+
+:func:`validate_trace_report` is its executable definition.
 """
 
 from __future__ import annotations
@@ -58,6 +88,12 @@ if TYPE_CHECKING:
     from ..core.simulator import Simulator
 
 SCHEMA = "zeus.metrics/1"
+TRACE_SCHEMA = "zeus.trace/1"
+
+#: Values a trace event may carry (stringified Logic, or the
+#: never-fired marker used by causal nodes).
+_LOGIC_NAMES = ("0", "1", "UNDEF", "NOINFL")
+_EVENT_KINDS = ("fire", "latch", "poke", "violation")
 
 
 def metrics_report(
@@ -250,3 +286,166 @@ def validate_report(report: dict) -> None:
         wall = need(report, "wall", dict, "report")
         need(wall, "elapsed_s", (int, float), "wall")
         need(wall, "cycles_per_s", (int, float), "wall")
+
+
+# -- zeus.trace/1 ------------------------------------------------------------
+
+
+def trace_report(
+    circuit: "Circuit",
+    sim: "Simulator",
+    *,
+    explanation=None,
+    include_synthetic: bool = False,
+    max_events: int | None = None,
+) -> dict:
+    """Assemble a ``zeus.trace/1`` report from *sim*'s flight recorder
+    (raises :class:`~repro.lang.errors.SimulationError` without one).
+
+    Elaborator-synthesized ``$``-net firings are dropped unless
+    *include_synthetic*; *max_events* truncates the event list (oldest
+    first) for huge windows."""
+    from ..lang.errors import SimulationError
+
+    fl = sim.flight
+    if fl is None:
+        raise SimulationError(
+            "trace export needs a flight recorder: construct the "
+            "simulator with flight=N (or zeusc sim --flight N)"
+        )
+    stats = circuit.netlist.stats()
+    events = [
+        ev.to_dict()
+        for ev in fl.events(include_synthetic=include_synthetic)
+    ]
+    truncated_events = 0
+    if max_events is not None and len(events) > max_events:
+        truncated_events = len(events) - max_events
+        events = events[:max_events]
+    report: dict = {
+        "schema": TRACE_SCHEMA,
+        "design": {
+            "name": circuit.name,
+            "nets": stats.get("nets", 0),
+            "gates": stats.get("gates", 0),
+            "connections": stats.get("connections", 0),
+            "registers": stats.get("registers", 0),
+        },
+        "engine": sim.engine,
+        "lanes": sim.lanes,
+        "window": {
+            "first": fl.first_cycle,
+            "last": fl.last_cycle,
+            "capacity": fl.capacity,
+            "recorded": len(fl),
+            "dropped": fl.dropped,
+        },
+        "events": events,
+    }
+    if truncated_events:
+        report["window"]["truncated_events"] = truncated_events
+    if explanation is not None:
+        report["explanation"] = explanation.to_dict()
+    return report
+
+
+def write_trace(path: str, report: dict) -> None:
+    """Validate and write a ``zeus.trace/1`` report as JSON."""
+    validate_trace_report(report)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def validate_trace_report(report: dict) -> None:
+    """Raise ``ValueError`` unless *report* conforms to the documented
+    ``zeus.trace/1`` shape."""
+
+    def need(obj: dict, key: str, types, where: str):
+        if key not in obj:
+            raise ValueError(f"trace report: missing {where}.{key}")
+        if not isinstance(obj[key], types):
+            raise ValueError(
+                f"trace report: {where}.{key} must be "
+                f"{types}, got {type(obj[key]).__name__}"
+            )
+        return obj[key]
+
+    if not isinstance(report, dict):
+        raise ValueError("trace report must be a dict")
+    if report.get("schema") != TRACE_SCHEMA:
+        raise ValueError(
+            f"trace report: schema must be {TRACE_SCHEMA!r}, "
+            f"got {report.get('schema')!r}"
+        )
+    design = need(report, "design", dict, "report")
+    need(design, "name", str, "design")
+    for key in ("nets", "gates", "connections", "registers"):
+        need(design, key, int, "design")
+    need(report, "engine", str, "report")
+    if "lanes" not in report or not (
+        report["lanes"] is None or isinstance(report["lanes"], int)
+    ):
+        raise ValueError("trace report: lanes must be int or null")
+
+    window = need(report, "window", dict, "report")
+    for key in ("capacity", "recorded", "dropped"):
+        if need(window, key, int, "window") < 0:
+            raise ValueError(f"trace report: window.{key} must be >= 0")
+    for key in ("first", "last"):
+        if key not in window or not (
+            window[key] is None or isinstance(window[key], int)
+        ):
+            raise ValueError(
+                f"trace report: window.{key} must be int or null"
+            )
+    if (window["first"] is None) != (window["recorded"] == 0):
+        raise ValueError(
+            "trace report: window.first is null exactly when nothing "
+            "was recorded"
+        )
+
+    prev_cycle = None
+    for ev in need(report, "events", list, "report"):
+        cyc = need(ev, "cycle", int, "events[]")
+        if prev_cycle is not None and cyc < prev_cycle:
+            raise ValueError("trace report: events must be time-ordered")
+        prev_cycle = cyc
+        if need(ev, "kind", str, "events[]") not in _EVENT_KINDS:
+            raise ValueError(
+                f"trace report: bad event kind {ev['kind']!r}"
+            )
+        need(ev, "net", str, "events[]")
+        if need(ev, "value", str, "events[]") not in _LOGIC_NAMES:
+            raise ValueError(
+                f"trace report: bad event value {ev['value']!r}"
+            )
+        if "lane" in ev and not isinstance(ev["lane"], int):
+            raise ValueError("trace report: events[].lane must be int")
+        if "values" in ev:
+            for v in need(ev, "values", list, "events[]"):
+                if v not in _LOGIC_NAMES:
+                    raise ValueError(
+                        f"trace report: bad conflict value {v!r}"
+                    )
+
+    if "explanation" in report:
+        expl = need(report, "explanation", dict, "report")
+        target = need(expl, "target", dict, "explanation")
+        need(target, "path", str, "explanation.target")
+        need(target, "cycle", int, "explanation.target")
+        need(target, "value", str, "explanation.target")
+        need(expl, "engine", str, "explanation")
+        need(expl, "node_count", int, "explanation")
+        need(expl, "truncated", bool, "explanation")
+
+        def check_node(node: dict, where: str) -> None:
+            need(node, "net", str, where)
+            need(node, "cycle", int, where)
+            need(node, "value", str, where)
+            need(node, "reason", str, where)
+            for child in node.get("children", []):
+                check_node(child, where + ".children[]")
+
+        for node in need(expl, "tree", list, "explanation"):
+            check_node(node, "explanation.tree[]")

@@ -18,10 +18,19 @@ Typical use::
     repro.compile_text(text)
     print(REGISTRY.render())            # phase timing table
     totals = REGISTRY.phase_totals()    # {"lex": 0.0003, ...}
+
+Library embedders (and the future zeusd service) should not share the
+process-wide :data:`REGISTRY`: pass a private registry instead, either
+explicitly (``compile_text(text, registry=my_reg)``) or by activating it
+for a region (``with use_registry(my_reg): ...``).  The active registry
+is tracked in a :mod:`contextvars` variable, so concurrent compiles in
+different threads or asyncio tasks record into their own registries
+without racing.
 """
 
 from __future__ import annotations
 
+import contextvars
 import time
 from collections import deque
 from contextlib import contextmanager
@@ -155,10 +164,48 @@ class SpanRegistry:
 #: The process-wide default registry used by the compile pipeline.
 REGISTRY = SpanRegistry()
 
+#: The contextually active registry (None = fall back to REGISTRY).
+#: Context-local, so threads / asyncio tasks can each activate a private
+#: registry without racing each other (or the global).
+_ACTIVE: contextvars.ContextVar[SpanRegistry | None] = contextvars.ContextVar(
+    "zeus_span_registry", default=None
+)
+
+
+def current_registry() -> SpanRegistry:
+    """The registry ``span()`` records into right now: the innermost
+    :func:`use_registry` registry of this context, else the process-wide
+    :data:`REGISTRY`."""
+    return _ACTIVE.get() or REGISTRY
+
 
 @contextmanager
-def span(name: str, **meta) -> Iterator[Span | None]:
-    """Record *name* on the current default registry (see
-    :data:`REGISTRY`; :meth:`SpanRegistry.scoped` can swap it)."""
-    with REGISTRY.span(name, **meta) as sp:
-        yield sp
+def use_registry(registry: SpanRegistry) -> Iterator[SpanRegistry]:
+    """Make *registry* the active span collector for this context.
+
+    Unlike :meth:`SpanRegistry.scoped` (which swaps the module global and
+    therefore races concurrent users), activation is context-local:
+    every thread or asyncio task sees only its own activation.
+    """
+    token = _ACTIVE.set(registry)
+    try:
+        yield registry
+    finally:
+        _ACTIVE.reset(token)
+
+
+@contextmanager
+def span(
+    name: str, *, registry: SpanRegistry | None = None, **meta
+) -> Iterator[Span | None]:
+    """Record *name* on *registry*, or on the contextually active one
+    (see :func:`use_registry` and :data:`REGISTRY`).  An explicit
+    *registry* also becomes the active registry inside the block, so
+    nested spans land in the same place."""
+    if registry is None:
+        with current_registry().span(name, **meta) as sp:
+            yield sp
+    else:
+        with use_registry(registry):
+            with registry.span(name, **meta) as sp:
+                yield sp

@@ -64,6 +64,9 @@ class Testbench:
     ``lanes`` selects the batched engine (unless another engine is named
     explicitly): scalar drives/expects then observe lane 0, and
     :meth:`drive_batch` / :meth:`peek_lanes` address all lanes.
+    ``flight`` records the last N cycles in a flight recorder
+    (``tb.sim.flight``) for post-mortem causal explanation
+    (:func:`repro.obs.explain`).
     """
 
     __test__ = False  # not a pytest test class despite the name
@@ -74,6 +77,7 @@ class Testbench:
     reset_signal: str = "RSET"
     engine: str = "auto"
     lanes: int | None = None
+    flight: int | None = None
     sim: Simulator = field(init=False)
     #: cycle-indexed log of expect() checks that passed, for reporting.
     checked: int = 0
@@ -87,6 +91,8 @@ class Testbench:
         )
         if self.lanes is not None:
             kwargs["lanes"] = self.lanes
+        if self.flight is not None:
+            kwargs["flight"] = self.flight
         self.sim = self.circuit.simulator(**kwargs)
         self.engine = self.sim.engine
 

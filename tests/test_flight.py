@@ -1,0 +1,537 @@
+"""Flight recorder, causal explainer, zeus.trace/1 and Chrome trace
+tests (the PR-6 observability subsystem)."""
+
+import json
+
+import pytest
+
+import repro
+from repro.analysis.fuzzgen import generate_program
+from repro.cli import main
+from repro.core.trace import Trace
+from repro.core.values import Logic
+from repro.obs import (
+    FlightRecorder,
+    chrome_trace,
+    explain,
+    trace_report,
+    use_registry,
+    validate_chrome_trace,
+    validate_trace_report,
+)
+from repro.obs import spans as obs_spans
+from repro.stdlib import programs
+
+from zeus_test_utils import compile_ok
+
+COUNTER = """
+TYPE t = COMPONENT (IN en: boolean; OUT q0: boolean) IS
+SIGNAL r0: REG;
+BEGIN
+    IF RSET THEN r0.in := 0
+    ELSE IF en THEN r0.in := NOT r0.out END;
+    END;
+    q0 := r0.out
+END;
+SIGNAL c: t;
+"""
+
+ALL_ENGINES = ["levelized", "dataflow", "batched"]
+
+
+def run(argv, capsys):
+    code = main(argv)
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+def _sim_kwargs(engine):
+    return {"engine": engine, "lanes": 4} if engine == "batched" else {
+        "engine": engine
+    }
+
+
+class TestRecorder:
+    def test_disabled_by_default(self):
+        circuit = compile_ok(COUNTER)
+        sim = circuit.simulator()
+        sim.step(3)
+        assert sim.flight is None
+
+    def test_int_shorthand_and_binding(self):
+        circuit = compile_ok(COUNTER)
+        sim = circuit.simulator(flight=5)
+        assert isinstance(sim.flight, FlightRecorder)
+        assert sim.flight.capacity == 5
+        assert sim.flight.sim is sim
+
+    def test_ring_bounds_memory_and_counts_drops(self):
+        circuit = compile_ok(COUNTER)
+        sim = circuit.simulator(flight=4)
+        sim.poke("RSET", 1); sim.poke("en", 0)
+        sim.step(10)
+        fl = sim.flight
+        assert len(fl) == 4
+        assert fl.dropped == 6
+        assert fl.first_cycle == 6 and fl.last_cycle == 9
+        assert list(fl.cycles()) == [6, 7, 8, 9]
+
+    def test_snapshot_outside_window_raises_keyerror(self):
+        circuit = compile_ok(COUNTER)
+        sim = circuit.simulator(flight=2)
+        sim.step(5)
+        fl = sim.flight
+        with pytest.raises(KeyError):
+            fl.snapshot(0)  # evicted
+        with pytest.raises(KeyError):
+            fl.snapshot(99)  # never simulated
+        empty = circuit.simulator(flight=2).flight
+        with pytest.raises(KeyError):
+            empty.snapshot(0)
+
+    def test_reset_state_clears_records(self):
+        circuit = compile_ok(COUNTER)
+        sim = circuit.simulator(flight=8)
+        sim.step(3)
+        assert len(sim.flight) == 3
+        sim.reset_state()
+        assert len(sim.flight) == 0 and sim.flight.dropped == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(0)
+
+    def test_testbench_threads_flight(self):
+        tb = repro.make_testbench(compile_ok(COUNTER), flight=6)
+        tb.reset(cycles=1)
+        tb.drive(en=1).clock()
+        assert isinstance(tb.sim.flight, FlightRecorder)
+        assert len(tb.sim.flight) == 2
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_latch_events_follow_reg_writes(self, engine):
+        circuit = compile_ok(COUNTER)
+        sim = circuit.simulator(flight=8, **_sim_kwargs(engine))
+        sim.poke("RSET", 1); sim.poke("en", 0); sim.step()
+        sim.poke("RSET", 0); sim.poke("en", 1); sim.step(3)
+        latches = [
+            e for e in sim.flight.events() if e.kind == "latch"
+        ]
+        assert latches, "enabled counter must latch every cycle"
+        assert all(e.net == "c.r0" for e in latches)
+        # the toggling counter alternates the latched d-value
+        assert {e.value for e in latches[1:]} <= {"0", "1"}
+
+
+class TestTraceAgreement:
+    """Flight records must agree with Trace/VCD samples cycle-by-cycle:
+    both observe post-evaluate values (lane 0 on the batched engine)."""
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    @pytest.mark.parametrize(
+        "builtin,watch,pokes",
+        [
+            ("blackjack", ["hit", "stand", "broke"],
+             {"RSET": 1, "ycard": 0, "value": 0}),
+            ("adders", ["s", "cout"], {"a": 13, "b": 9, "cin": 1}),
+        ],
+    )
+    def test_flight_matches_trace_history(
+        self, engine, builtin, watch, pokes
+    ):
+        circuit = repro.compile_text(
+            programs.ALL_PROGRAMS[builtin],
+            top="adder" if builtin == "adders" else None,
+        )
+        cycles = 6
+        sim = circuit.simulator(
+            strict=False, flight=cycles, **_sim_kwargs(engine)
+        )
+        trace = Trace(list(watch))
+        sim.attach_trace(trace)
+        for sig, val in pokes.items():
+            sim.poke(sig, val)
+        sim.step(cycles)
+        fl = sim.flight
+        for path in watch:
+            history = trace.values(path)
+            for cycle in range(cycles):
+                assert fl.peek(path, cycle) == history[cycle], (
+                    f"{engine}/{builtin}: {path} diverges at {cycle}"
+                )
+
+    def test_vcd_and_trace_report_from_same_run(self, tmp_path):
+        circuit = compile_ok(COUNTER)
+        sim = circuit.simulator(flight=8)
+        trace = Trace(["q0"])
+        sim.attach_trace(trace)
+        sim.poke("RSET", 1); sim.poke("en", 0); sim.step()
+        sim.poke("RSET", 0); sim.poke("en", 1); sim.step(5)
+        vcd = trace.to_vcd(circuit.name)
+        assert "$var wire 1" in vcd
+        report = trace_report(circuit, sim)
+        validate_trace_report(report)
+        fires = [
+            e for e in report["events"]
+            if e["kind"] == "fire" and e["net"] == "c.q0"
+        ]
+        assert [e["value"] for e in fires] == [
+            str(b) for b in trace.bits("q0")
+        ]
+
+
+class TestExplain:
+    def test_needs_flight_recorder(self):
+        circuit = compile_ok(COUNTER)
+        sim = circuit.simulator()
+        sim.step(2)
+        with pytest.raises(repro.SimulationError):
+            explain(sim, "q0", 1)
+
+    def test_undef_traced_to_unpoked_input(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN a, b: boolean; OUT y: boolean) IS
+            BEGIN y := AND(a, b) END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator(flight=4)
+        sim.poke("a", 1)
+        sim.step(2)
+        ex = explain(sim, "y", 1)
+        text = ex.render_text()
+        assert "u.y @ 1 = UNDEF" in text
+        assert "not poked" in text and "u.b" in text
+        # the minimal cone: the poked-1 input is NOT blamed
+        assert text.count("u.a") == 0
+
+    def test_conflict_names_both_drivers(self):
+        circuit = repro.compile_text(
+            """
+            TYPE t = COMPONENT (IN a, b, s: boolean; OUT z: boolean) IS
+            BEGIN
+                IF s THEN z := a END;
+                IF a THEN z := b END
+            END;
+            SIGNAL u: t;
+            """,
+            strict=False,
+        )
+        sim = circuit.simulator(strict=False, flight=4)
+        sim.poke("a", 1); sim.poke("b", 0); sim.poke("s", 1)
+        sim.step(2)
+        assert sim.violations
+        text = explain(sim, "z", 1).render_text()
+        assert "MULTIPLEX CONFLICT" in text
+        assert "guard u.s" in text and "guard u.a" in text
+
+    def test_register_backwalk_finds_latch_cycle(self):
+        circuit = compile_ok(COUNTER)
+        sim = circuit.simulator(flight=16)
+        sim.poke("RSET", 1); sim.poke("en", 0); sim.step()
+        sim.poke("RSET", 0); sim.poke("en", 0); sim.step(4)
+        # en held 0: q0 keeps the 0 latched during reset at cycle 0
+        ex = explain(sim, "q0", 4)
+        assert "latched at cycle 0" in ex.render_text()
+
+    def test_off_guards_explain_noinfl(self):
+        circuit = repro.compile_text(
+            """
+            TYPE t = COMPONENT (IN s, a: boolean; OUT z: boolean) IS
+            BEGIN IF s THEN z := a END END;
+            SIGNAL u: t;
+            """,
+            strict=False,
+        )
+        sim = circuit.simulator(strict=False, flight=4)
+        sim.poke("s", 0); sim.poke("a", 1)
+        sim.step()
+        text = explain(sim, "z", 0).render_text()
+        assert "off (guards 0)" in text
+
+    def test_max_nodes_budget_truncates(self):
+        circuit = repro.compile_text(programs.BLACKJACK, strict=True)
+        sim = circuit.simulator(strict=False, flight=8)
+        sim.step(6)
+        full = explain(sim, "hit", 5, max_nodes=50_000)
+        assert not full.truncated
+        ex = explain(sim, "hit", 5, max_nodes=10)
+        assert ex.truncated
+        # the budget bounds the walk: every node past the limit is an
+        # unexpanded stub, so the tree stays far below the full cone
+        assert ex.node_count < full.node_count
+        assert "walk budget exhausted" in ex.render_text()
+
+    def test_explain_agrees_across_engines(self):
+        circuit = compile_ok(COUNTER)
+        texts = []
+        for engine in ALL_ENGINES:
+            sim = circuit.simulator(flight=8, **_sim_kwargs(engine))
+            sim.poke("RSET", 1); sim.poke("en", 0); sim.step()
+            sim.poke("RSET", 0); sim.poke("en", 1); sim.step(3)
+            ex = explain(sim, "q0", 3)
+            texts.append(
+                ex.render_text().splitlines()[1:]  # drop the engine line
+            )
+        assert texts[0] == texts[1] == texts[2]
+
+    def test_dot_output_merges_reconvergence(self):
+        circuit = compile_ok(
+            """
+            TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+            BEGIN y := AND(a, NOT a) END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator(flight=2)
+        sim.poke("a", 1)
+        sim.step()
+        dot = explain(sim, "y", 0).render_dot()
+        assert dot.startswith("digraph")
+        # the input is one node even though two paths reach it
+        assert dot.count('u.a @ 0') == 1
+
+
+class TestFuzzedConflict:
+    """The acceptance scenario: a fuzzgen-injected multiplex conflict
+    is diagnosed end to end, naming the conflicting drivers."""
+
+    SEED = 0
+    VECTOR = {"i0": 1, "i1": 1, "i2": 0, "i3": 0, "i4": 1}
+
+    def _conflicted_sim(self):
+        prog = generate_program(self.SEED)
+        circuit = repro.compile_text(prog.text, strict=False)
+        sim = circuit.simulator(strict=False, flight=8)
+        for sig, val in self.VECTOR.items():
+            sim.poke(sig, val)
+        sim.step(3)
+        return circuit, sim
+
+    def test_seed_still_produces_the_conflict(self):
+        _, sim = self._conflicted_sim()
+        assert any(v.net == "u.z1" for v in sim.violations)
+
+    def test_explain_names_the_conflicting_drivers(self):
+        _, sim = self._conflicted_sim()
+        text = explain(sim, "z1", 2).render_text()
+        assert "MULTIPLEX CONFLICT: 2 drivers" in text
+        # seed 0 wires `IF ch.y THEN z1 := 1` and `IF i0 THEN z1 := 1`;
+        # both guards were 1 under VECTOR, so both must be named.
+        assert "guard u.ch.y" in text
+        assert "guard u.i0" in text
+        # the off driver (r0.out held 0) must NOT be blamed
+        assert "guard u.r0.out" not in text
+
+    def test_cli_explain_on_fuzz_file(self, tmp_path, capsys):
+        prog = generate_program(self.SEED)
+        src = tmp_path / "fuzz0.zeus"
+        src.write_text(prog.text)
+        argv = ["explain", str(src), "--lenient", "--net", "z1",
+                "--cycle", "2"]
+        for sig, val in self.VECTOR.items():
+            argv += ["--poke", f"{sig}={val}"]
+        code, out, _ = run(argv, capsys)
+        assert code == 0
+        assert "MULTIPLEX CONFLICT" in out
+        assert "guard u.ch.y" in out and "guard u.i0" in out
+
+
+class TestTraceSchema:
+    def test_roundtrip_via_cli(self, tmp_path, capsys):
+        out = tmp_path / "window.json"
+        code, _, _ = run(
+            ["sim", "--builtin", "blackjack", "--cycles", "6",
+             "--poke", "RSET=1", "--poke", "RSET=0@2",
+             "--flight", "4", "--trace-out", str(out)],
+            capsys,
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        validate_trace_report(report)
+        assert report["schema"] == "zeus.trace/1"
+        assert report["window"] == {
+            "first": 2, "last": 5, "capacity": 4,
+            "recorded": 4, "dropped": 2,
+        }
+        kinds = {e["kind"] for e in report["events"]}
+        assert {"fire", "poke", "latch"} <= kinds
+
+    def test_explain_json_roundtrips(self, tmp_path, capsys):
+        out = tmp_path / "why.json"
+        code, _, _ = run(
+            ["explain", "--builtin", "blackjack", "--net", "hit",
+             "--cycle", "2", "--format", "json", "-o", str(out)],
+            capsys,
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        validate_trace_report(report)
+        expl = report["explanation"]
+        assert expl["target"] == {
+            "path": "hit", "cycle": 2, "value": "UNDEF",
+        }
+        assert expl["tree"] and expl["node_count"] > 0
+
+    def test_validator_rejects_malformed(self):
+        good = {
+            "schema": "zeus.trace/1",
+            "design": {"name": "t", "nets": 1, "gates": 0,
+                       "connections": 0, "registers": 0},
+            "engine": "levelized", "lanes": None,
+            "window": {"first": 0, "last": 0, "capacity": 1,
+                       "recorded": 1, "dropped": 0},
+            "events": [{"cycle": 0, "kind": "fire", "net": "a",
+                        "value": "1"}],
+        }
+        validate_trace_report(good)
+        for mutate in (
+            lambda r: r.update(schema="zeus.trace/2"),
+            lambda r: r["events"].append(
+                {"cycle": 0, "kind": "bad", "net": "a", "value": "1"}),
+            lambda r: r["events"].append(
+                {"cycle": 0, "kind": "fire", "net": "a", "value": "2"}),
+            lambda r: r["window"].update(first=None),
+            lambda r: r.pop("engine"),
+        ):
+            bad = json.loads(json.dumps(good))
+            mutate(bad)
+            with pytest.raises(ValueError):
+                validate_trace_report(bad)
+
+    def test_events_time_ordering_enforced(self):
+        circuit = compile_ok(COUNTER)
+        sim = circuit.simulator(flight=4)
+        sim.step(3)
+        report = trace_report(circuit, sim)
+        validate_trace_report(report)
+        shuffled = json.loads(json.dumps(report))
+        shuffled["events"] = list(reversed(shuffled["events"]))
+        if len({e["cycle"] for e in shuffled["events"]}) > 1:
+            with pytest.raises(ValueError):
+                validate_trace_report(shuffled)
+
+
+class TestChromeTrace:
+    def test_cli_profile_chrome_validates(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code, stdout, _ = run(
+            ["profile", "--builtin", "blackjack", "--cycles", "16",
+             "--poke", "RSET=1", "--poke", "RSET=0@2",
+             "--chrome", str(out)],
+            capsys,
+        )
+        assert code == 0 and f"wrote {out}" in stdout
+        trace = json.loads(out.read_text())
+        validate_chrome_trace(trace)
+        events = trace["traceEvents"]
+        # required fields on every event
+        assert all(
+            "ph" in e and "ts" in e and "name" in e for e in events
+        )
+        slices = [e for e in events if e["ph"] == "X"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert any(e["name"] == "compile" for e in slices)
+        assert sum(e["name"].startswith("cycle") for e in slices) == 16
+        names = {e["name"] for e in counters}
+        assert {"firings", "gate_evals", "violations"} <= names
+        assert all(
+            isinstance(v, (int, float))
+            for e in counters for v in e["args"].values()
+        )
+
+    def test_compile_spans_nest_inside_compile(self):
+        reg = obs_spans.SpanRegistry()
+        circuit = repro.compile_text(COUNTER, registry=reg)
+        sim = circuit.simulator(metrics=True)
+        sim.step(4)
+        trace = chrome_trace(reg, sim, elapsed=0.004)
+        validate_chrome_trace(trace)
+        spans = {
+            e["name"]: e for e in trace["traceEvents"] if e["ph"] == "X"
+        }
+        comp, lex = spans["compile"], spans["lex"]
+        assert comp["ts"] <= lex["ts"]
+        assert lex["ts"] + lex["dur"] <= comp["ts"] + comp["dur"] + 1e-6
+
+    def test_validator_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [{"ph": "X"}]})
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [
+                    {"ph": "X", "name": "a", "ts": 0}]})  # no dur
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [
+                    {"ph": "C", "name": "a", "ts": 0,
+                     "args": {"v": "high"}}]})  # non-numeric counter
+
+
+class TestRegistryThreading:
+    def test_compile_text_private_registry(self):
+        obs_spans.REGISTRY.reset()
+        mine = obs_spans.SpanRegistry()
+        repro.compile_text(COUNTER, registry=mine)
+        names = {s.name for s in mine.spans}
+        assert {"compile", "lex", "parse", "elaborate", "check"} <= names
+        # the process-wide registry saw nothing
+        assert len(obs_spans.REGISTRY.spans) == 0
+
+    def test_use_registry_scopes_contextually(self):
+        obs_spans.REGISTRY.reset()
+        mine = obs_spans.SpanRegistry()
+        with use_registry(mine):
+            repro.compile_text(COUNTER)
+        assert mine.phase_totals()["compile"] > 0
+        assert len(obs_spans.REGISTRY.spans) == 0
+        # outside the block the default is back
+        repro.compile_text(COUNTER)
+        assert len(obs_spans.REGISTRY.spans) > 0
+        obs_spans.REGISTRY.reset()
+
+    def test_cli_leaves_global_registry_untouched(self, capsys):
+        obs_spans.REGISTRY.reset()
+        code, _, _ = run(
+            ["sim", "--builtin", "adders", "--top", "adder",
+             "--cycles", "2"],
+            capsys,
+        )
+        assert code == 0
+        assert len(obs_spans.REGISTRY.spans) == 0
+
+
+class TestExitCodes:
+    def test_explain_unknown_net_exits_2(self, capsys):
+        code, _, err = run(
+            ["explain", "--builtin", "blackjack", "--net", "nosuch",
+             "--cycle", "1"],
+            capsys,
+        )
+        assert code == 2 and "error:" in err
+
+    def test_explain_out_of_range_cycle_exits_2(self, capsys):
+        code, _, err = run(
+            ["explain", "--builtin", "blackjack", "--net", "hit",
+             "--cycle", "50", "--cycles", "4"],
+            capsys,
+        )
+        assert code == 2
+        assert "outside the recorded window" in err
+
+    def test_explain_negative_cycle_exits_2(self, capsys):
+        code, _, err = run(
+            ["explain", "--builtin", "blackjack", "--net", "hit",
+             "--cycle", "-3"],
+            capsys,
+        )
+        assert code == 2 and "error:" in err
+
+    def test_sim_unknown_watch_still_exits_2(self, capsys):
+        code, _, err = run(
+            ["sim", "--builtin", "blackjack", "--cycles", "2",
+             "--watch", "nosuch", "--flight", "2"],
+            capsys,
+        )
+        assert code == 2 and "error:" in err
