@@ -1,0 +1,163 @@
+"""Codegen engine benchmark: lane throughput vs the interpreted batched engine.
+
+Measures steady-state lane-cycles/sec of the exec-compiled codegen
+engine (both plane backends: Python big-int and NumPy ``uint64`` word
+arrays) on random-stimulus sweeps of the 16-bit ripple-carry adder,
+against the interpreted batched engine at 1024 lanes -- the lane count
+where the batched engine's per-opcode dispatch cost is already fully
+amortized.  Results are merged into the repo-root
+``BENCH_simulator.json`` under a ``codegen`` key.
+
+Used by the CI benchmark-smoke job::
+
+    PYTHONPATH=src python benchmarks/bench_codegen.py \
+        --cycles 30 --out BENCH_simulator.json --min-speedup 10
+
+The acceptance bar is 10x: the best point on the codegen lane-scaling
+curve must beat the interpreted batched engine at 1024 lanes by at
+least that factor (measured ~20x at the 16384-lane sweet spot here;
+the NumPy backend takes over past ``NUMPY_LANE_THRESHOLD`` lanes,
+where big-int carries start to hurt).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import time
+
+import repro
+from repro.core.codegen import HAVE_NUMPY
+from repro.stdlib import programs
+
+from bench_batched import merge_into_summary
+
+LANE_CURVE = (1024, 4096, 16384, 65536, 262144)
+
+#: Lane count of the interpreted-batched comparison bar.
+BASELINE_LANES = 1024
+
+
+def _stimuli(rng, lanes):
+    return {
+        "a": [rng.randrange(1 << 16) for _ in range(lanes)],
+        "b": [rng.randrange(1 << 16) for _ in range(lanes)],
+        "cin": [rng.randint(0, 1) for _ in range(lanes)],
+    }
+
+
+def _measure(circuit, stim, lanes, cycles, engine, backend="auto"):
+    """Steady-state lane-cycles/sec (one warm-up step before timing)."""
+    kwargs = {"engine": engine, "lanes": lanes}
+    if engine == "codegen":
+        kwargs["backend"] = backend
+    sim = circuit.simulator(**kwargs)
+    if not sim._batched_fast:
+        raise RuntimeError("adders must take the bit-parallel path")
+    if engine == "codegen" and sim._cg is None:
+        raise RuntimeError(f"codegen did not compile: {sim.engine_reason}")
+    for name, values in stim.items():
+        sim.poke_lanes(name, values)
+    sim.step()
+    t0 = time.perf_counter()
+    sim.step(cycles)
+    elapsed = time.perf_counter() - t0
+    return (lanes * cycles) / elapsed, sim
+
+
+def _check_adder(sim, stim):
+    a, b, cin = stim["a"][0], stim["b"][0], stim["cin"][0]
+    s = sim.peek_lane_int("s", 0)
+    cout = sim.peek_lane_int("cout", 0)
+    if ((cout << 16) | s) != a + b + cin:
+        raise RuntimeError(
+            "codegen adder result is wrong; not benchmarking a broken engine"
+        )
+
+
+def run_benchmark(cycles, seed=0, curve=LANE_CURVE):
+    circuit = repro.compile_text(programs.ripple_carry(16), top="adder")
+    rng = random.Random(seed)
+    results = {
+        "workload": "adders-sweep",
+        "cycles": cycles,
+        "baseline_lanes": BASELINE_LANES,
+        "numpy_available": HAVE_NUMPY,
+    }
+
+    stim = _stimuli(rng, BASELINE_LANES)
+    batched_rate, _ = _measure(
+        circuit, stim, BASELINE_LANES, cycles, "batched"
+    )
+
+    backends = ("int", "numpy") if HAVE_NUMPY else ("int",)
+    lane_curve: dict[str, dict[str, float]] = {b: {} for b in backends}
+    best = {b: 0.0 for b in backends}
+    for lanes in curve:
+        lane_stim = stim if lanes == BASELINE_LANES else _stimuli(rng, lanes)
+        for backend in backends:
+            rate, sim = _measure(
+                circuit, lane_stim, lanes, cycles, "codegen", backend
+            )
+            _check_adder(sim, lane_stim)
+            lane_curve[backend][str(lanes)] = rate
+            best[backend] = max(best[backend], rate)
+
+    results["lane_curve"] = lane_curve
+    results["lane_cycles_per_s"] = {
+        f"batched_{BASELINE_LANES}": batched_rate,
+        **{f"codegen_{b}_best": best[b] for b in backends},
+    }
+    results["speedup_vs_batched"] = max(best.values()) / batched_rate
+    return results
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--cycles", type=int, default=30,
+                    help="cycles per measurement (default 30)")
+    ap.add_argument("--out", default="BENCH_simulator.json",
+                    help="summary JSON to merge into")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="fail unless best-of-curve vs batched@1024 "
+                         "clears this bar")
+    ap.add_argument("--seed", type=int, default=0)
+    args = ap.parse_args(argv)
+
+    results = run_benchmark(args.cycles, seed=args.seed)
+    rates = results["lane_cycles_per_s"]
+    base = rates[f"batched_{BASELINE_LANES}"]
+    print(f"adders sweep  batched({BASELINE_LANES}) {base:>12,.0f} lane-c/s   "
+          f"codegen best {max(v for k, v in rates.items() if 'codegen' in k):>12,.0f}"
+          f" lane-c/s   speedup {results['speedup_vs_batched']:.1f}x")
+    for backend, curve in results["lane_curve"].items():
+        for lanes, rate in curve.items():
+            print(f"  {backend:>5} {int(lanes):>7} lanes: "
+                  f"{rate:>13,.0f} lane-cycles/s")
+    merge_into_summary(args.out, results, key="codegen")
+    print(f"wrote {args.out}")
+
+    if (args.min_speedup is not None
+            and results["speedup_vs_batched"] < args.min_speedup):
+        print(f"FAIL: speedup {results['speedup_vs_batched']:.2f}x "
+              f"< required {args.min_speedup}x")
+        return 1
+    return 0
+
+
+# -- tier-1 smoke (bench_*.py files are collected by pytest) ---------------
+
+def test_bench_codegen_summary_shape(tmp_path):
+    out = tmp_path / "BENCH_simulator.json"
+    results = run_benchmark(cycles=3, curve=(1024, 4096))
+    assert results["speedup_vs_batched"] > 1
+    assert set(results["lane_curve"]["int"]) == {"1024", "4096"}
+    summary = merge_into_summary(str(out), results, key="codegen")
+    assert summary["schema"] == "zeus.bench.simulator/1"
+    assert summary["codegen"]["workload"] == "adders-sweep"
+    merged = merge_into_summary(str(out), results, key="codegen")
+    assert merged["codegen"] == results
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,8 +1,9 @@
 """Benchmark regression check: fresh run vs the committed numbers.
 
 Re-runs the benchmark drivers (``benchmarks/bench_engines.py``,
-``bench_batched.py``, ``bench_flight.py``) and compares the fresh
-cycles/sec against the committed ``BENCH_simulator.json`` with a
+``bench_batched.py``, ``bench_codegen.py``, ``bench_flight.py``) and
+compares the fresh cycles/sec against the committed
+``BENCH_simulator.json`` with a
 tolerance band: a metric that lands more than ``--tolerance`` (default
 30%) *below* the committed number is a regression and the script exits
 nonzero.  Improvements never fail.
@@ -32,6 +33,7 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO, "benchmarks"))
 
 import bench_batched  # noqa: E402
+import bench_codegen  # noqa: E402
 import bench_engines  # noqa: E402
 import bench_flight  # noqa: E402
 
@@ -50,6 +52,11 @@ def committed_metrics(summary: dict) -> dict[str, float]:
         for key, rate in batched.get("lane_cycles_per_s", {}).items():
             out[f"batched.lane_cycles_per_s.{key}"] = rate
         out["batched.speedup"] = batched["speedup"]
+    codegen = summary.get("codegen")
+    if codegen:
+        for key, rate in codegen.get("lane_cycles_per_s", {}).items():
+            out[f"codegen.lane_cycles_per_s.{key}"] = rate
+        out["codegen.speedup_vs_batched"] = codegen["speedup_vs_batched"]
     flight = summary.get("flight")
     if flight:
         for engine in bench_flight.ENGINES:
@@ -65,6 +72,9 @@ def fresh_summary(cycles: int, seed: int = 0) -> dict:
     summary = bench_engines.run_benchmarks(cycles, metrics_dir=None,
                                            seed=seed)
     summary["batched"] = bench_batched.run_benchmark(
+        max(cycles // 20, 3), seed=seed
+    )
+    summary["codegen"] = bench_codegen.run_benchmark(
         max(cycles // 20, 3), seed=seed
     )
     summary["flight"] = bench_flight.run_benchmark(cycles, seed=seed)

@@ -11,7 +11,7 @@ module owns the three pieces every fuzz consumer shares:
   deliberately conflictable drivers, REG pipelines with guarded loads,
   and ``FOR``/``WHEN`` meta-programmed replication through a
   parameterized subcomponent;
-* :func:`differential_check` -- run one program on all three engines
+* :func:`differential_check` -- run one program on all four engines
   and compare per-cycle outputs, final register state, and recorded
   violations (per lane on the batched engine);
 * :func:`shrink` -- statement-level delta debugging: greedily drop
@@ -38,7 +38,9 @@ OPS = ["AND", "OR", "NAND", "NOR", "XOR"]
 #: Engines compared by :func:`differential_check`.  Dataflow is the
 #: oracle; "auto" resolves to levelized whenever the program can be
 #: scheduled (every generated program is acyclic, so it always can).
-ENGINES_UNDER_TEST = ("auto", "batched")
+#: "codegen" is the exec-compiled bit-parallel engine of
+#: :mod:`repro.core.codegen`, checked lane-by-lane like batched.
+ENGINES_UNDER_TEST = ("auto", "batched", "codegen")
 
 
 # -- legacy pure-DAG generator (kept for the fast fuzz slice) -------------
@@ -269,9 +271,9 @@ def _scalar_observations(circuit, engine, vector, outs, cycles, seed):
     return rows, regs, viols
 
 
-def _batched_observations(circuit, vectors, outs, cycles):
+def _batched_observations(circuit, vectors, outs, cycles, engine="batched"):
     sim = circuit.simulator(
-        engine="batched", lanes=len(vectors), strict=False, seed=0
+        engine=engine, lanes=len(vectors), strict=False, seed=0
     )
     for name in vectors[0]:
         sim.poke_lanes(name, [vec[name] for vec in vectors])
@@ -305,10 +307,10 @@ def differential_check(
     vectors: list[dict] | None = None,
     name: str = "fuzz",
 ) -> DifferentialResult:
-    """Run one program on dataflow (oracle), levelized ("auto") and
-    batched, over *n_vectors* random constant stimuli held for *cycles*
-    cycles each, comparing per-cycle OUT-pin values, final register
-    state, and (cycle, net) violation sets.
+    """Run one program on dataflow (oracle), levelized ("auto"),
+    batched and codegen, over *n_vectors* random constant stimuli held
+    for *cycles* cycles each, comparing per-cycle OUT-pin values, final
+    register state, and (cycle, net) violation sets.
 
     The batched run packs every vector into one simulator (lane k =
     vector k, seed ``0 + k``); the scalar runs use seed ``k`` so the
@@ -344,15 +346,18 @@ def differential_check(
                     f"{engine} vs dataflow: vector {k} {vec}: "
                     f"{_diff_detail(oracle[k], got, outs)}",
                 )
-    rows, regs, viols, _ = _batched_observations(circuit, vectors, outs, cycles)
-    for k, vec in enumerate(vectors):
-        got = (rows[k], regs[k], viols[k])
-        if got != oracle[k]:
-            return DifferentialResult(
-                False,
-                f"batched lane {k} vs dataflow: vector {vec}: "
-                f"{_diff_detail(oracle[k], got, outs)}",
-            )
+    for engine in ("batched", "codegen"):
+        rows, regs, viols, _ = _batched_observations(
+            circuit, vectors, outs, cycles, engine=engine
+        )
+        for k, vec in enumerate(vectors):
+            got = (rows[k], regs[k], viols[k])
+            if got != oracle[k]:
+                return DifferentialResult(
+                    False,
+                    f"{engine} lane {k} vs dataflow: vector {vec}: "
+                    f"{_diff_detail(oracle[k], got, outs)}",
+                )
     return DifferentialResult(True)
 
 

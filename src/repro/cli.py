@@ -444,6 +444,11 @@ def _guard_runtime(thunk) -> int:
     except ZeusError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except ValueError as exc:
+        # Bad stimulus shapes (lane-count mismatches, over-wide poke
+        # values) surface as ValueError from the simulator layer.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except KeyError as exc:
         # The simulator raises KeyError with a full message for unknown
         # poke/peek/watch paths; bare keys get a generic wrapper.
@@ -487,9 +492,10 @@ def _sim_batched(args: argparse.Namespace, circuit: Circuit, registry) -> int:
             file=sys.stderr,
         )
         return 2
+    engine = "codegen" if args.engine == "codegen" else "batched"
     sim = circuit.simulator(
         seed=args.seed, strict=not args.lenient, metrics=bool(args.metrics),
-        engine="batched", lanes=lanes, flight=_flight_capacity(args),
+        engine=engine, lanes=lanes, flight=_flight_capacity(args),
     )
     if stim is not None:
         stim.apply(sim)
@@ -503,7 +509,9 @@ def _sim_batched(args: argparse.Namespace, circuit: Circuit, registry) -> int:
         sim.step()
     elapsed = time.perf_counter() - t0
     mode = "bit-parallel" if sim._batched_fast else "per-lane fallback"
-    print(f"batched run: {lanes} lanes x {args.cycles} cycles ({mode})")
+    if sim.codegen_backend is not None:
+        mode += f", {sim.codegen_backend} planes"
+    print(f"{sim.engine} run: {lanes} lanes x {args.cycles} cycles ({mode})")
     if sim.engine_reason:
         print(f"  ({sim.engine_reason})")
     columns = [(name, sim.peek_lanes(name)) for name in watch]
@@ -557,7 +565,9 @@ def _write_trace_out(args: argparse.Namespace, circuit: Circuit, sim) -> None:
 
 def _sim(args: argparse.Namespace, circuit: Circuit, registry) -> int:
     """The ``zeusc sim`` body: run the cycles, print the trace."""
-    if args.batch or args.lanes is not None or args.engine == "batched":
+    if args.batch or args.lanes is not None or args.engine in (
+        "batched", "codegen"
+    ):
         return _sim_batched(args, circuit, registry)
     sim = circuit.simulator(
         seed=args.seed, strict=not args.lenient, metrics=bool(args.metrics),

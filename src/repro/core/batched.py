@@ -144,6 +144,17 @@ class BatchStimulus:
     @classmethod
     def from_vectors(cls, vectors: Sequence[Mapping[str, object]]) -> "BatchStimulus":
         """One lane per vector: ``[{"a": 3, "b": 1}, {"a": 0, "b": 2}]``."""
+        vectors = list(vectors)
+        if not vectors:
+            raise ValueError(
+                "from_vectors needs at least one vector (one lane each)"
+            )
+        for k, vec in enumerate(vectors):
+            if not hasattr(vec, "items"):
+                raise ValueError(
+                    f"from_vectors: vector for lane {k} is not a "
+                    f"signal->value mapping: {vec!r}"
+                )
         stim = cls(len(vectors))
         names = {name for vec in vectors for name in vec}
         for name in sorted(names):
@@ -189,7 +200,11 @@ class BatchStimulus:
                 (len(v) for v in pokes.values() if isinstance(v, list)),
                 default=1,
             )
-        return cls(int(lanes), pokes)
+        if isinstance(lanes, bool) or not isinstance(lanes, int):
+            raise ValueError(
+                f"batch stimulus 'lanes' must be an integer, got {lanes!r}"
+            )
+        return cls(lanes, pokes)
 
     def apply(self, sim) -> None:
         """Poke every signal into a batched :class:`Simulator`."""

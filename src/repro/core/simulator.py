@@ -43,7 +43,7 @@ from .types import BOOLEAN
 from .values import Logic
 
 #: Valid values for the ``engine=`` knob.
-ENGINES = ("auto", "levelized", "dataflow", "batched")
+ENGINES = ("auto", "levelized", "dataflow", "batched", "codegen")
 
 PokeValue = Union[Logic, int, str, Sequence[Union[Logic, int, str]]]
 
@@ -101,7 +101,16 @@ class Simulator:
       lane 0.  Lane ``k`` behaves exactly like a scalar run with seed
       ``seed + k``.  When no schedule can be built the lane API stays
       available through a per-lane dataflow fallback (the reason in
-      :attr:`engine_reason`).
+      :attr:`engine_reason`);
+    * ``"codegen"`` -- the batched engine's lane model with the
+      interpreter compiled away: the schedule is emitted as one
+      exec-compiled Python function at construction (see
+      :mod:`repro.core.codegen`), either over big-int planes
+      (``backend="int"``) or NumPy uint64 word arrays
+      (``backend="numpy"``; ``backend="auto"`` picks by lane count).
+      Same lane API, same observations; exotic pokes (INOUT pins,
+      internal nets, NOINFL lanes) transparently run the interpreted
+      batched pass instead.
 
     ``engine="auto"`` (the default) selects the levelized engine whenever
     a schedule can be built, and otherwise falls back to dataflow with
@@ -119,6 +128,7 @@ class Simulator:
         metrics: bool = False,
         engine: str = "auto",
         lanes: int = 64,
+        backend: str = "auto",
         flight=None,
     ):
         self.design = design
@@ -230,15 +240,25 @@ class Simulator:
         self._schedule: Schedule | None = None
         #: lane count on the batched engine, None on the scalar engines.
         self.lanes: int | None = None
-        if engine == "batched":
+        #: the active CompiledStep on the codegen engine (None while the
+        #: interpreted batched pass runs instead), and the construction-
+        #: time compile it can be restored to by :meth:`reset_state`.
+        self._cg = None
+        self._cg_compiled = None
+        #: codegen backend name ("int"/"numpy"), None off codegen.
+        self.codegen_backend: str | None = None
+        self._cg_np_ran = False
+        self._cg_vals_stale = False
+        self._cg_regs_stale = False
+        if engine in ("batched", "codegen"):
             if lanes < 1:
-                raise ValueError(f"batched engine needs lanes >= 1, got {lanes}")
+                raise ValueError(f"{engine} engine needs lanes >= 1, got {lanes}")
             if record_firing:
                 raise ValueError(
                     "record_firing needs a scalar engine (the firing log "
                     "is defined by dataflow propagation order)"
                 )
-            self.engine = "batched"
+            self.engine = engine
             self.lanes = lanes
             self._lane_mask = (1 << lanes) - 1
             self._lane_rngs = [random.Random(seed + k) for k in range(lanes)]
@@ -263,6 +283,27 @@ class Simulator:
                 self.engine_reason = (
                     f"bit-parallel fallback to per-lane dataflow: {exc}"
                 )
+            if engine == "codegen" and self._batched_fast:
+                from .codegen import CodegenError, compile_step
+
+                try:
+                    with span("codegen", design=self.design.name):
+                        self._cg_compiled = compile_step(
+                            self._schedule, backend=backend, lanes=lanes
+                        )
+                except CodegenError as exc:
+                    self.engine_reason = (
+                        f"codegen fallback to interpreted batched: {exc}"
+                    )
+                else:
+                    self._cg = self._cg_compiled
+                    self.codegen_backend = self._cg.backend
+                    #: poke table changed since the last compiled-pass
+                    #: eligibility check.
+                    self._cg_dirty = True
+                    self._cg_pokes_ok = True
+                    if self._cg.backend == "numpy":
+                        self._cg_init_numpy_state()
         elif engine == "dataflow":
             self.engine_reason = "dataflow engine requested"
         elif engine == "auto" and self.metrics.keep_firing_log:
@@ -283,8 +324,12 @@ class Simulator:
                 self.engine_reason = str(exc)
         self.metrics.engine = self.engine
         self.metrics.lanes = self.lanes
+        self.metrics.backend = self.codegen_backend
         if self.lanes is not None:
             self.metrics.fast_path = self._batched_fast
+            #: construction-time reason, restored when a numpy-backend
+            #: demotion is undone by reset_state.
+            self._cg_reason0 = self.engine_reason
 
         # Flight recorder (repro.obs.flight): ``flight=N`` is shorthand
         # for a fresh recorder holding the last N cycles.
@@ -393,6 +438,7 @@ class Simulator:
                 self._bpokes[self._idx(net)] = (
                     M if b0 else 0, M if b1 else 0, M
                 )
+            self._cg_dirty = True
             return
         for net, bit in zip(nets, bits):
             self._pokes[self._idx(net)] = bit
@@ -403,6 +449,7 @@ class Simulator:
             self._pokes.pop(self._idx(net), None)
             if self.lanes is not None:
                 self._bpokes.pop(self._idx(net), None)
+        self._cg_dirty = True
 
     def poke_lanes(self, path: str, values: Sequence) -> None:
         """Set a signal per lane (batched engine only).
@@ -431,12 +478,23 @@ class Simulator:
                 continue
             bit = 1 << k
             mask |= bit
-            for j, b in enumerate(_coerce_bits(v, width, path)):
+            try:
+                bits = _coerce_bits(v, width, path)
+            except (TypeError, ValueError) as exc:
+                msg = str(exc)
+                prefix = f"poke {path!r}: "
+                if msg.startswith(prefix):
+                    msg = msg[len(prefix):]
+                raise type(exc)(
+                    f"poke {path!r} lane {k}: {msg}"
+                ) from None
+            for j, b in enumerate(bits):
                 b0, b1 = LOGIC_PLANES[b]
                 if b0:
                     acc0[j] |= bit
                 if b1:
                     acc1[j] |= bit
+        self._cg_dirty = True
         if not mask:
             for net in nets:
                 self._bpokes.pop(self._idx(net), None)
@@ -453,6 +511,8 @@ class Simulator:
                 "peek_lanes needs engine='batched' "
                 f"(this simulator runs {self.engine!r})"
             )
+        if self._cg_vals_stale:
+            self._cg_sync_vals()
         per_net: list[list[Logic]] = []
         for net in self.nets_of(path):
             i = self._idx(net)
@@ -471,6 +531,8 @@ class Simulator:
             )
         if not 0 <= lane < self.lanes:
             raise ValueError(f"lane {lane} out of range 0..{self.lanes - 1}")
+        if self._cg_vals_stale:
+            self._cg_sync_vals()
         out: list[Logic] = []
         for net in self.nets_of(path):
             i = self._idx(net)
@@ -559,18 +621,56 @@ class Simulator:
         into ``self.values`` so scalar peeks and traces keep working."""
         mon = self.metrics.enabled
         self._metrics_on = mon
+        self._cg_np_ran = False
         if self._batched_fast:
-            _execute_batched(
-                self._schedule,
-                self._lane_mask,
-                self._bvals0,
-                self._bvals1,
-                self._bpokes,
-                self._breg0,
-                self._breg1,
-                self._lane_rngs,
-                self._lane_conflict,
-            )
+            cg = self._cg
+            if cg is not None:
+                if self._cg_dirty:
+                    self._cg_refresh_pokes()
+                if not self._cg_pokes_ok:
+                    # An exotic poke (INOUT pin, internal net, NOINFL
+                    # lane): the generated function cannot merge it.
+                    if cg.backend == "numpy":
+                        self._cg_demote(
+                            "a poke outside the compiled input set"
+                        )
+                    cg = None
+            if cg is None:
+                _execute_batched(
+                    self._schedule,
+                    self._lane_mask,
+                    self._bvals0,
+                    self._bvals1,
+                    self._bpokes,
+                    self._breg0,
+                    self._breg1,
+                    self._lane_rngs,
+                    self._lane_conflict,
+                )
+            elif cg.backend == "numpy":
+                cg.fn(
+                    self._cg_v0,
+                    self._cg_v1,
+                    self._cg_np_pokes,
+                    self._cg_r0,
+                    self._cg_r1,
+                    self._lane_rngs,
+                    self._lane_conflict,
+                    self._cg_M,
+                )
+                self._cg_np_ran = True
+                self._cg_vals_stale = True
+            else:
+                cg.fn(
+                    self._bvals0,
+                    self._bvals1,
+                    self._bpokes,
+                    self._breg0,
+                    self._breg1,
+                    self._lane_rngs,
+                    self._lane_conflict,
+                    self._lane_mask,
+                )
         else:
             self._evaluate_batched_fallback()
             self._metrics_on = mon
@@ -583,12 +683,85 @@ class Simulator:
         """Copy lane 0 out of the planes into ``self.values`` (deferred
         until something actually reads scalar values: a pure batched
         sweep never pays this per cycle)."""
+        if self._cg_vals_stale:
+            self._cg_sync_vals()
         PL = PLANE_LOGIC
         self.values = [
             PL[(x & 1) | ((y & 1) << 1)]
             for x, y in zip(self._bvals0, self._bvals1)
         ]
         self._values_stale = False
+
+    # -- codegen engine plumbing ----------------------------------------------
+
+    def _cg_init_numpy_state(self) -> None:
+        """Fresh word-array state for the numpy codegen backend.  The
+        big-int planes (``_bvals*``/``_breg*``) stay allocated as lazy
+        mirrors, re-synced on demand (peeks, registers, fallback)."""
+        from .codegen import int_to_words, lane_mask_words
+
+        words = self._cg_compiled.words
+        n = len(self._canon_ids)
+        self._cg_M = lane_mask_words(self.lanes)
+        zero = int_to_words(0, words)
+        self._cg_v0 = [zero] * n
+        self._cg_v1 = [zero] * n
+        n_regs = len(self._breg0)
+        self._cg_r0 = [self._cg_M] * n_regs
+        self._cg_r1 = [self._cg_M] * n_regs
+        self._cg_np_pokes: dict[int, tuple] = {}
+        self._cg_vals_stale = False
+        self._cg_regs_stale = False
+
+    def _cg_refresh_pokes(self) -> None:
+        """Re-check poke eligibility after the poke table changed: the
+        generated function only merges non-NOINFL pokes on the compiled
+        input set (anything else runs the interpreted pass)."""
+        cg = self._cg
+        ok = True
+        poke_ok = cg.poke_ok
+        for i, (p0, p1, pm) in self._bpokes.items():
+            if i not in poke_ok or pm & ~(p0 | p1):
+                ok = False
+                break
+        self._cg_pokes_ok = ok
+        if ok and cg.backend == "numpy":
+            from .codegen import pokes_to_words
+
+            self._cg_np_pokes = pokes_to_words(self._bpokes, cg.words)
+        self._cg_dirty = False
+
+    def _cg_sync_vals(self) -> None:
+        """Word-array value planes -> big-int mirrors (for peeks, lane-0
+        materialization and the interpreted paths)."""
+        from .codegen import planes_to_ints
+
+        self._bvals0 = planes_to_ints(self._cg_v0)
+        self._bvals1 = planes_to_ints(self._cg_v1)
+        self._cg_vals_stale = False
+
+    def _cg_sync_regs(self) -> None:
+        """Word-array register planes -> big-int mirrors."""
+        from .codegen import planes_to_ints
+
+        self._breg0 = planes_to_ints(self._cg_r0)
+        self._breg1 = planes_to_ints(self._cg_r1)
+        self._cg_regs_stale = False
+
+    def _cg_demote(self, why: str) -> None:
+        """Permanently drop the numpy codegen backend back to the
+        interpreted batched pass (big-int planes); :meth:`reset_state`
+        restores the compiled function.  Per-pass switching would pay an
+        array<->int conversion of every net per cycle, so demotion is
+        sticky instead."""
+        if self._cg_vals_stale:
+            self._cg_sync_vals()
+        if self._cg_regs_stale:
+            self._cg_sync_regs()
+        self._cg = None
+        self.engine_reason = (
+            f"codegen numpy backend demoted to interpreted batched: {why}"
+        )
 
     def _evaluate_batched_fallback(self) -> None:
         """Per-lane dataflow fallback: identical lane semantics at
@@ -940,7 +1113,10 @@ class Simulator:
 
     def _latch(self) -> None:
         if self.lanes is not None:
-            self._latch_batched()
+            if self._cg_np_ran:
+                self._latch_codegen_numpy()
+            else:
+                self._latch_batched()
             return
         mon = self._metrics_on
         for ri, di in enumerate(self._reg_d):
@@ -971,6 +1147,37 @@ class Simulator:
             if mon:
                 self.metrics.latches += driving.bit_count()
 
+    def _latch_codegen_numpy(self) -> None:
+        """The batched latch rule over uint64 word arrays.  Arrays are
+        never mutated in place (the generated function may alias planes
+        across nets), so the merge rebinds fresh arrays."""
+        import numpy as np
+
+        mon = self._metrics_on
+        M = self._cg_M
+        v0 = self._cg_v0
+        v1 = self._cg_v1
+        r0 = self._cg_r0
+        r1 = self._cg_r1
+        for ri, di in enumerate(self._reg_d):
+            d0 = v0[di]
+            d1 = v1[di]
+            driving = d0 | d1
+            if not driving.any():
+                continue
+            keep = M & ~driving
+            r0[ri] = (r0[ri] & keep) | d0
+            r1[ri] = (r1[ri] & keep) | d1
+            if mon:
+                self.metrics.latches += int(
+                    np.bitwise_count(driving).sum()
+                )
+        self._cg_regs_stale = True
+        if self.flight is not None:
+            # The flight recorder reads the big-int register planes
+            # directly when it records this cycle.
+            self._cg_sync_regs()
+
     # -- state management ------------------------------------------------------
 
     def reset_state(self) -> None:
@@ -996,6 +1203,19 @@ class Simulator:
             self._bvals0 = [0] * len(self._bvals0)
             self._bvals1 = [0] * len(self._bvals1)
             self._bpokes.clear()
+            # A pre-reset pass may have left lane 0 marked dirty; the
+            # fresh planes above are the truth now.
+            self._values_stale = False
+            self._cg_np_ran = False
+            if self._cg_compiled is not None:
+                # Undo any numpy-backend demotion: the compiled function
+                # is valid again for the fresh (unpoked) state.
+                self._cg = self._cg_compiled
+                self._cg_dirty = True
+                self._cg_pokes_ok = True
+                self.engine_reason = self._cg_reason0
+                if self._cg.backend == "numpy":
+                    self._cg_init_numpy_state()
 
     def registers(self, lane: int | None = None) -> dict[str, Logic]:
         """Current register contents by instance path.
@@ -1008,6 +1228,8 @@ class Simulator:
                 raise ValueError(
                     f"lane {k} out of range 0..{self.lanes - 1}"
                 )
+            if self._cg_regs_stale:
+                self._cg_sync_regs()
             return {
                 reg.name or f"$reg{reg.id}": lane_value(
                     self._breg0[i], self._breg1[i], k

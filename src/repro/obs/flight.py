@@ -126,7 +126,16 @@ class FlightRecorder:
     # -- write side (called by the simulator) --------------------------
 
     def bind(self, sim: "Simulator") -> None:
-        """Attach to *sim* (called from ``Simulator.__init__``)."""
+        """Attach to *sim* (called from ``Simulator.__init__``).
+
+        Rebinding to a different simulator drops everything recorded
+        for the previous one: snapshots, the dropped counter, and the
+        cached producer map (which indexes the *old* netlist — resolving
+        causes through it would mislabel every event)."""
+        if self._sim is not None and self._sim is not sim:
+            self.records.clear()
+            self.dropped = 0
+            self._producers = None
         self._sim = sim
 
     def record(self, sim: "Simulator", new_violations: list) -> None:
@@ -159,9 +168,13 @@ class FlightRecorder:
         )
 
     def reset(self) -> None:
-        """Drop every record (a fresh run; see ``reset_state``)."""
+        """Drop every recorded cycle (a fresh run; see ``reset_state``):
+        the ring, the derived event stream window, the dropped counter,
+        and the cached producer map all go -- nothing recorded before
+        the reset can leak into a later explain window."""
         self.records.clear()
         self.dropped = 0
+        self._producers = None
 
     # -- read side ------------------------------------------------------
 

@@ -60,10 +60,12 @@ class Testbench:
     ``reset_signal`` names the reset input (the predefined RSET by
     default); ``reset_drive`` maps inputs to hold during reset.
     ``engine`` selects the simulation engine ("auto", "levelized",
-    "dataflow" or "batched" — see :class:`Simulator`).  Setting
-    ``lanes`` selects the batched engine (unless another engine is named
-    explicitly): scalar drives/expects then observe lane 0, and
-    :meth:`drive_batch` / :meth:`peek_lanes` address all lanes.
+    "dataflow", "batched" or "codegen" — see :class:`Simulator`).
+    Setting ``lanes`` selects the batched engine (unless another engine
+    is named explicitly): scalar drives/expects then observe lane 0,
+    and :meth:`drive_batch` / :meth:`peek_lanes` address all lanes.
+    ``backend`` picks the codegen plane representation ("auto", "int",
+    "numpy").
     ``flight`` records the last N cycles in a flight recorder
     (``tb.sim.flight``) for post-mortem causal explanation
     (:func:`repro.obs.explain`).
@@ -77,6 +79,7 @@ class Testbench:
     reset_signal: str = "RSET"
     engine: str = "auto"
     lanes: int | None = None
+    backend: str = "auto"
     flight: int | None = None
     sim: Simulator = field(init=False)
     #: cycle-indexed log of expect() checks that passed, for reporting.
@@ -87,7 +90,8 @@ class Testbench:
         if self.lanes is not None and engine == "auto":
             engine = "batched"
         kwargs: dict[str, Any] = dict(
-            strict=self.strict, seed=self.seed, engine=engine
+            strict=self.strict, seed=self.seed, engine=engine,
+            backend=self.backend,
         )
         if self.lanes is not None:
             kwargs["lanes"] = self.lanes

@@ -251,6 +251,42 @@ class TestBatchStimulus:
         # lane 1's `a` stays at the unpoked-input default (UNDEF)
         assert sim.peek_lanes("s") == [[Logic.ZERO], [Logic.UNDEF]]
 
+    # -- validation (the PR's stimulus bugfix sweep) ----------------------
+
+    def test_from_vectors_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one vector"):
+            BatchStimulus.from_vectors([])
+
+    def test_from_vectors_rejects_non_mapping_with_lane_index(self):
+        with pytest.raises(ValueError, match="lane 1"):
+            BatchStimulus.from_vectors([{"a": 1}, 7])
+
+    def test_from_json_rejects_non_integer_lanes(self):
+        for bad in ("three", 2.5, True, [4]):
+            with pytest.raises(ValueError, match="'lanes' must be an integer"):
+                BatchStimulus.from_json({"lanes": bad, "pokes": {"a": 1}})
+
+    def test_from_json_mismatched_list_lengths_raise(self):
+        with pytest.raises(ValueError, match="got 2 lane values for 3 lanes"):
+            BatchStimulus.from_json({"a": [1, 0, 1], "b": [0, 1]})
+
+    def test_poke_lanes_overwide_value_names_path_and_lane(self):
+        circuit = compile_ok(
+            """
+            TYPE bo4 = ARRAY [1..4] OF boolean;
+            t = COMPONENT (IN a: bo4; OUT y: bo4) IS BEGIN y := a END;
+            SIGNAL u: t;
+            """
+        )
+        sim = circuit.simulator(engine="batched", lanes=3)
+        with pytest.raises(ValueError, match=r"poke 'u\.a' lane 1") as exc:
+            sim.poke_lanes("u.a", [1, 99, 2])  # 99 needs 7 bits
+        assert "does not fit" in str(exc.value)
+        with pytest.raises(ValueError, match=r"poke 'u\.a' lane 2"):
+            sim.poke_lanes("u.a", [1, 2, [0, 1]])  # wrong bit-list width
+        with pytest.raises(TypeError, match=r"poke 'u\.a' lane 0"):
+            sim.poke_lanes("u.a", [object(), 1, 2])
+
 
 # -- reset_state must clear lane state (the PR's bugfix) ------------------
 
@@ -441,3 +477,41 @@ class TestCliBatch:
         )
         assert code == 2
         assert "conflicts" in err
+
+    def test_overwide_stimulus_exits_2_naming_path_and_lane(
+        self, tmp_path, capsys
+    ):
+        """An over-wide lane value must exit 2 with the net path and
+        the offending lane index, not silently truncate planes."""
+        stim = tmp_path / "stim.json"
+        stim.write_text(json.dumps(
+            {"lanes": 3, "pokes": {"a": [1, 99, 2], "b": 0, "cin": 0}}
+        ))
+        code, _, err = run_cli(
+            ["sim", "--builtin", "adders", "--batch", str(stim),
+             "--cycles", "1"],
+            capsys,
+        )
+        assert code == 2
+        assert "poke 'a' lane 1" in err
+        assert "does not fit" in err
+
+    def test_bad_lanes_value_exits_2(self, tmp_path, capsys):
+        stim = tmp_path / "stim.json"
+        stim.write_text(json.dumps({"lanes": "three", "pokes": {"a": 1}}))
+        code, _, err = run_cli(
+            ["sim", "--builtin", "adders", "--batch", str(stim)],
+            capsys,
+        )
+        assert code == 2
+        assert "'lanes' must be an integer" in err
+
+    def test_mismatched_vector_lengths_exit_2(self, tmp_path, capsys):
+        stim = tmp_path / "stim.json"
+        stim.write_text(json.dumps({"a": [0, 1, 1], "b": [1, 0]}))
+        code, _, err = run_cli(
+            ["sim", "--builtin", "adders", "--batch", str(stim)],
+            capsys,
+        )
+        assert code == 2
+        assert "got 2 lane values for 3 lanes" in err

@@ -1,7 +1,7 @@
-"""Differential tests: the levelized fast-path engine and the batched
-bit-parallel engine against the dataflow firing engine (the semantics
-oracle), plus the ``engine=`` knob through :class:`Simulator`,
-:class:`Testbench` and the CLI.
+"""Differential tests: the levelized fast-path engine, the batched
+bit-parallel engine and the exec-compiled codegen engine against the
+dataflow firing engine (the semantics oracle), plus the ``engine=``
+knob through :class:`Simulator`, :class:`Testbench` and the CLI.
 
 The batched checks are *metamorphic*: lane ``k`` of one batched run
 must equal an independent scalar run driven with stimulus ``k`` --
@@ -228,7 +228,9 @@ class TestMetricsEquivalence:
 class TestEngineKnob:
     def test_engine_values(self):
         circuit = compile_ok(SIMPLE)
-        assert ENGINES == ("auto", "levelized", "dataflow", "batched")
+        assert ENGINES == (
+            "auto", "levelized", "dataflow", "batched", "codegen"
+        )
         sim = circuit.simulator()
         assert sim.engine_requested == "auto"
         assert sim.engine == "levelized"
@@ -238,6 +240,23 @@ class TestEngineKnob:
         assert batched.engine == "batched"
         assert batched.lanes == 4
         assert sim.lanes is None
+        cg = circuit.simulator(engine="codegen", lanes=4)
+        assert cg.engine == "codegen"
+        assert cg.lanes == 4
+        assert cg._cg is not None, cg.engine_reason
+        assert cg.codegen_backend in ("int", "numpy")
+        assert batched.codegen_backend is None
+
+    def test_codegen_cyclic_design_falls_back_per_lane(self):
+        circuit = repro.compile_text(CYCLIC, strict=False)
+        sim = circuit.simulator(strict=False, engine="codegen", lanes=4)
+        assert sim.engine == "codegen"
+        assert not sim._batched_fast
+        assert sim._cg is None
+        assert "fallback" in sim.engine_reason
+        sim.poke("a", 1)
+        sim.step()
+        assert [str(v[0]) for v in sim.peek_lanes("y")] == ["1"] * 4
 
     def test_invalid_engine_rejected(self):
         with pytest.raises(ValueError, match="unknown engine"):
@@ -329,6 +348,20 @@ class TestEngineCli:
         assert code == 0
         assert "batched run: 64 lanes" in out
 
+    def test_sim_engine_codegen_dispatches(self, capsys):
+        outs = []
+        for engine in ("batched", "codegen"):
+            code, out = self.run(
+                ["sim", "--builtin", "mux4", "--cycles", "2",
+                 "--poke", "d=5", "--poke", "a=2", "--poke", "g=1",
+                 "--engine", engine], capsys
+            )
+            assert code == 0
+            outs.append(out)
+        assert "codegen run: 64 lanes" in outs[1]
+        # Identical observations below the engine banner line.
+        assert outs[0].split("\n", 1)[1] == outs[1].split("\n", 1)[1]
+
 
 # -- the batched engine, lane by lane -------------------------------------
 
@@ -354,11 +387,14 @@ def lane_stimulus(circuit):
 
 
 def run_batched_lanes(circuit, stim, *, cycles=10, seed=BATCH_SEED,
-                      strict=True, lanes=LANES):
-    """One batched run; returns per-lane (rows, violations, error) in
-    the same shape :func:`run_trace` produces for a scalar run."""
+                      strict=True, lanes=LANES, engine="batched",
+                      backend="auto"):
+    """One batched-or-codegen run; returns per-lane (rows, violations,
+    error) in the same shape :func:`run_trace` produces for a scalar
+    run."""
     sim = circuit.simulator(
-        seed=seed, strict=strict, engine="batched", lanes=lanes
+        seed=seed, strict=strict, engine=engine, lanes=lanes,
+        backend=backend,
     )
     paths = scalar_paths(circuit)
     inputs = [p.name for p in circuit.netlist.ports if p.mode == "IN"]
@@ -404,16 +440,20 @@ class TestBatchedMetamorphic:
     """Lane k of one batched run == an independent scalar run with
     stimulus k and seed ``BATCH_SEED + k``, for every stdlib program."""
 
+    @pytest.mark.parametrize("engine", ["batched", "codegen"])
     @pytest.mark.parametrize("name", sorted(programs.ALL_PROGRAMS))
-    def test_every_lane_matches_scalar_run(self, name):
+    def test_every_lane_matches_scalar_run(self, name, engine):
         # Lenient mode: some staggered-lane stimuli legitimately conflict
         # (htree's driver exclusivity depends on the input pattern), and
         # recorded violations must then match lane by lane.
         circuit = repro.compile_text(programs.ALL_PROGRAMS[name], name=name)
         stim = lane_stimulus(circuit)
-        fast = circuit.simulator(engine="batched", lanes=LANES)
+        fast = circuit.simulator(engine=engine, lanes=LANES)
         assert fast._batched_fast, "stdlib must take the bit-parallel path"
-        per_lane = run_batched_lanes(circuit, stim, cycles=10, strict=False)
+        if engine == "codegen":
+            assert fast._cg is not None, fast.engine_reason
+        per_lane = run_batched_lanes(circuit, stim, cycles=10, strict=False,
+                                     engine=engine)
         for k in range(LANES):
             scalar = run_trace(
                 circuit, "dataflow", cycles=10, seed=BATCH_SEED + k,
@@ -432,8 +472,9 @@ class TestBatchedMetamorphic:
             )
             assert per_lane[k][0] == scalar[0]
 
+    @pytest.mark.parametrize("engine", ["batched", "codegen"])
     @pytest.mark.parametrize("seed", range(10))
-    def test_random_dags_lane_by_lane(self, seed):
+    def test_random_dags_lane_by_lane(self, seed, engine):
         rng = random.Random(seed)
         n_inputs = rng.randint(2, 5)
         nodes = build_dag(rng, n_inputs, rng.randint(3, 12))
@@ -446,7 +487,7 @@ class TestBatchedMetamorphic:
                     for j in range(n_inputs)]
 
         per_lane = run_batched_lanes(circuit, stim, cycles=6, seed=seed,
-                                     strict=False)
+                                     strict=False, engine=engine)
         for k in range(LANES):
             scalar = run_trace(
                 circuit, "dataflow", cycles=6, seed=seed + k, strict=False,
@@ -470,10 +511,11 @@ class TestBatchedRngContract:
     seeded s consumes ``random.Random(s + k)`` in gate order, so it
     reproduces a scalar run seeded ``s + k`` bit for bit."""
 
-    def test_lane_streams_match_scalar_seeds(self):
+    @pytest.mark.parametrize("engine", ["batched", "codegen"])
+    def test_lane_streams_match_scalar_seeds(self, engine):
         circuit = compile_ok(RANDOM_GATE)
         lanes = 6
-        sim = circuit.simulator(engine="batched", lanes=lanes, seed=11)
+        sim = circuit.simulator(engine=engine, lanes=lanes, seed=11)
         sim.poke("a", 1)
         batched = [[] for _ in range(lanes)]
         for _ in range(16):

@@ -1,5 +1,5 @@
 """Differential fuzzing: random Zeus programs vs. a Python model and
-across all three engines.
+across all four engines.
 
 The generator lives in :mod:`repro.analysis.fuzzgen` (shared with the
 nightly long-budget runner, ``scripts/fuzz_nightly.py``).  The fast
@@ -156,7 +156,7 @@ SIGNAL u: t;
     assert sim.violations
 
 
-# -- the extended generator, three engines, lane by lane ------------------
+# -- the extended generator, four engines, lane by lane -------------------
 
 
 @pytest.mark.fuzz
