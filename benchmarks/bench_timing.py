@@ -1,0 +1,109 @@
+"""zeustime benchmark: STA runtime vs. design size.
+
+Runs :func:`repro.timing.analyze_timing` (unit model, SAT pruning on)
+over the scalable stdlib generators -- ripple-carry adders of growing
+width plus the comparison-tree program -- and records analyses/sec and
+the reported critical depth for each size.  The depth doubles as a
+regression canary: under the unit model it must equal the historical
+``netstats.logic_depth`` exactly.
+
+Results are merged into the repo-root ``BENCH_simulator.json`` under a
+``timing`` key.  Used by hand to refresh the committed numbers and by
+``scripts/bench_check.py`` in CI::
+
+    PYTHONPATH=src python benchmarks/bench_timing.py \
+        --repeat 3 --out BENCH_simulator.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import repro
+from repro.analysis import netstats
+from repro.stdlib import programs
+from repro.timing import analyze_timing
+
+from bench_batched import merge_into_summary
+
+ADDER_WIDTHS = (4, 8, 16, 32)
+
+
+def _workloads():
+    """(label, program text) pairs, small to large."""
+    pairs = [(f"ripple{w}", programs.ripple_carry(w))
+             for w in ADDER_WIDTHS]
+    pairs.append(("trees", programs.TREES))
+    return pairs
+
+
+def measure(circuit, repeat):
+    """Full-analysis rate (compile excluded) and the reported depth."""
+    report = analyze_timing(circuit, k=4)  # warm + correctness sample
+    expected = netstats.logic_depth(circuit.netlist)
+    if report.worst_arrival != expected:
+        raise RuntimeError(
+            f"unit STA depth {report.worst_arrival} != "
+            f"logic_depth {expected}; not benchmarking a wrong answer")
+    t0 = time.perf_counter()
+    for _ in range(repeat):
+        analyze_timing(circuit, k=4)
+    elapsed = time.perf_counter() - t0
+    return {
+        "analyses_per_s": repeat / elapsed if elapsed > 0 else 0.0,
+        "worst_arrival": report.worst_arrival,
+        "paths_examined": report.paths_examined,
+        "sat_calls": report.solver.sat_calls,
+    }
+
+
+def run_benchmark(repeat=3):
+    results = {"model": "unit", "paths": 4, "repeat": repeat,
+               "workloads": {}}
+    for label, text in _workloads():
+        circuit = repro.compile_text(text)
+        entry = measure(circuit, repeat)
+        entry["gates"] = circuit.netlist.stats()["gates"]
+        results["workloads"][label] = entry
+    return results
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repeat", type=int, default=3,
+                    help="analyses per workload (default 3)")
+    ap.add_argument("--out", default="BENCH_simulator.json",
+                    help="summary JSON to merge into")
+    args = ap.parse_args(argv)
+
+    results = run_benchmark(repeat=args.repeat)
+    for label, r in results["workloads"].items():
+        print(f"{label:10s} {r['gates']:>5d} gates   depth "
+              f"{r['worst_arrival']:>3d}   "
+              f"{r['analyses_per_s']:>8.2f} analyses/s   "
+              f"({r['sat_calls']} SAT calls)")
+    summary = merge_into_summary(args.out, results, key="timing")
+    assert summary["timing"] == results
+    print(f"wrote {args.out}")
+    return 0
+
+
+# -- tier-1 smoke (bench_*.py files are collected by pytest) ---------------
+
+def test_bench_timing_summary_shape(tmp_path):
+    out = tmp_path / "BENCH_simulator.json"
+    results = run_benchmark(repeat=1)
+    for label, r in results["workloads"].items():
+        assert r["analyses_per_s"] > 0, label
+        assert r["worst_arrival"] > 0, label
+    # Depth grows with adder width: each extra bit deepens the carry.
+    depths = [results["workloads"][f"ripple{w}"]["worst_arrival"]
+              for w in ADDER_WIDTHS]
+    assert depths == sorted(depths) and depths[0] < depths[-1]
+    summary = merge_into_summary(str(out), results, key="timing")
+    assert summary["timing"]["model"] == "unit"
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,7 +1,8 @@
 """Benchmark regression check: fresh run vs the committed numbers.
 
 Re-runs the benchmark drivers (``benchmarks/bench_engines.py``,
-``bench_batched.py``, ``bench_codegen.py``, ``bench_flight.py``) and
+``bench_batched.py``, ``bench_codegen.py``, ``bench_flight.py``,
+``bench_timing.py``) and
 compares the fresh cycles/sec against the committed
 ``BENCH_simulator.json`` with a
 tolerance band: a metric that lands more than ``--tolerance`` (default
@@ -36,6 +37,7 @@ import bench_batched  # noqa: E402
 import bench_codegen  # noqa: E402
 import bench_engines  # noqa: E402
 import bench_flight  # noqa: E402
+import bench_timing  # noqa: E402
 
 
 def committed_metrics(summary: dict) -> dict[str, float]:
@@ -63,6 +65,10 @@ def committed_metrics(summary: dict) -> dict[str, float]:
             rates = flight.get(engine, {}).get("cycles_per_s", {})
             for mode, rate in rates.items():
                 out[f"flight.{engine}.cycles_per_s.{mode}"] = rate
+    timing = summary.get("timing")
+    if timing:
+        for label, entry in timing.get("workloads", {}).items():
+            out[f"timing.{label}.analyses_per_s"] = entry["analyses_per_s"]
     return out
 
 
@@ -78,6 +84,7 @@ def fresh_summary(cycles: int, seed: int = 0) -> dict:
         max(cycles // 20, 3), seed=seed
     )
     summary["flight"] = bench_flight.run_benchmark(cycles, seed=seed)
+    summary["timing"] = bench_timing.run_benchmark(repeat=1)
     return summary
 
 

@@ -12,18 +12,17 @@ from collections import defaultdict
 
 from ..core.checker import dependency_graph, topological_order
 from ..core.netlist import Net, Netlist
+from ..timing.graph import propagate_levels
 
 
 def logic_levels(netlist: Netlist) -> dict[int, int]:
     """Unit-delay level per canonical net id: sources (inputs, register
-    outputs, constants) are level 0; every edge adds one."""
+    outputs, constants) are level 0; every edge adds one.  Delegates to
+    the shared timing-engine propagation (:mod:`repro.timing.graph`) —
+    one levelization implementation for netstats, lint and STA."""
     order = topological_order(netlist)
     deps = dependency_graph(netlist)
-    levels: dict[int, int] = {}
-    for nid in order:
-        preds = deps.get(nid, ())
-        levels[nid] = 1 + max((levels[p] for p in preds), default=-1)
-    return levels
+    return propagate_levels(order, deps)
 
 
 def logic_depth(netlist: Netlist) -> int:

@@ -21,6 +21,10 @@ Subcommands:
   as Chrome trace-event JSON for Perfetto;
 * ``layout FILE``    -- compute and print the floorplan;
 * ``analyze FILE``   -- logic depth, critical path, fan-out statistics;
+* ``timing FILE``    -- zeustime static timing analysis: configurable
+  delay model (``--model unit|fanout``), min clock period, k-worst
+  true critical paths with SAT false-path pruning and witness replay
+  (text, ``zeus.timing/1`` JSON, or SARIF);
 * ``prove FILE``     -- zeusprove bounded model checking with
   k-induction: multi-drive conflicts, OUT-pin definedness, and
   ``assert:<path>`` user properties, every refutation replayed through
@@ -32,16 +36,17 @@ Subcommands:
 * ``examples``       -- list the bundled paper programs (usable with
   ``--builtin NAME`` instead of FILE everywhere).
 
-``check``, ``lint``, ``sim``, ``analyze``, ``profile``, ``prove`` and
-``equiv`` accept ``--metrics FILE`` to dump a machine-readable
+``check``, ``lint``, ``sim``, ``analyze``, ``timing``, ``profile``,
+``prove`` and ``equiv`` accept ``--metrics FILE`` to dump a machine-readable
 ``zeus.metrics/1`` JSON report (compile-phase spans, design stats,
 and -- where a simulation or proof ran -- the activity counters and
 solver statistics).  See ``docs/INTERNALS.md``, "Observability".
 
 Exit codes follow one contract everywhere: 0 clean, 1 warnings or
-UNKNOWN verdicts under ``--werror``, 2 errors -- including parse and
-elaboration failures (every subcommand) and refuted properties
-(``prove``/``equiv`` counterexamples).
+UNKNOWN verdicts under ``--werror`` or a ``timing --clock`` constraint
+violated by a true path, 2 errors -- including parse and elaboration
+failures (every subcommand) and refuted properties (``prove``/``equiv``
+counterexamples).
 """
 
 from __future__ import annotations
@@ -271,6 +276,35 @@ def main(argv: list[str] | None = None) -> int:
                    help="print the cone of influence of a signal")
 
     p = sub.add_parser(
+        "timing",
+        help="zeustime: static timing analysis with SAT false-path "
+             "pruning",
+    )
+    _add_common(p)
+    _add_metrics(p)
+    p.add_argument("--model", default="unit",
+                   choices=("unit", "fanout"),
+                   help="delay model: unit (historical logic levels, "
+                        "default) or fanout (per-opcode gate delays + "
+                        "wire-load estimates)")
+    p.add_argument("--paths", type=int, default=4, metavar="K",
+                   help="true critical paths to report (default 4)")
+    p.add_argument("--clock", type=float, default=None, metavar="T",
+                   help="clock-period constraint; exit 1 when a true "
+                        "path exceeds it")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text", help="report format (default text)")
+    p.add_argument("-o", "--output", metavar="FILE",
+                   help="write the report to FILE instead of stdout")
+    p.add_argument("--no-sat", action="store_true",
+                   help="skip SAT false-path pruning (every path "
+                        "reports 'assumed')")
+    p.add_argument("--budget", type=int, default=20_000, metavar="N",
+                   help="solver node budget per path (default 20000)")
+    p.add_argument("--max-sat", type=int, default=200, metavar="N",
+                   help="SAT classifications per run (default 200)")
+
+    p = sub.add_parser(
         "prove",
         help="zeusprove: bounded model checking with k-induction",
     )
@@ -422,6 +456,9 @@ def _dispatch(args: argparse.Namespace, registry) -> int:
         else:
             print(text, end="")
         return 0
+
+    if args.cmd == "timing":
+        return _timing(args, circuit, registry)
 
     if args.cmd == "prove":
         return _prove(args, circuit, registry)
@@ -739,6 +776,38 @@ def _profile(args: argparse.Namespace, circuit: Circuit, registry) -> int:
         )
         print(f"wrote {args.metrics}")
     return 0
+
+
+def _timing(args: argparse.Namespace, circuit: Circuit, registry) -> int:
+    """The ``zeusc timing`` body: run the STA, render, honor the
+    exit-code contract (1 on a violated --clock constraint)."""
+    from .timing import analyze_timing, write_timing_report
+
+    report = analyze_timing(
+        circuit, model=args.model, clock=args.clock, k=args.paths,
+        sat=not args.no_sat, budget=args.budget, max_sat=args.max_sat)
+    if args.format == "json":
+        text = report.render_json()
+    elif args.format == "sarif":
+        text = report.render_sarif()
+    else:
+        text = report.render_text() + "\n"
+    if args.output:
+        if args.format == "json":
+            write_timing_report(args.output, report)
+        else:
+            with open(args.output, "w", encoding="utf-8") as f:
+                f.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    if args.metrics:
+        write_metrics(
+            args.metrics,
+            metrics_report(circuit, registry=registry, timing=report),
+        )
+        print(f"wrote {args.metrics}")
+    return report.exit_code()
 
 
 def _emit_formal(args: argparse.Namespace, report, circuit,

@@ -232,15 +232,16 @@ class LintContext:
 
     @cached_property
     def levels(self) -> dict[int, int] | None:
-        """Unit-delay logic level per class (None when cyclic)."""
+        """Unit-delay logic level per class (None when cyclic).
+        Delegates to the shared timing-engine propagation — the same
+        implementation behind ``netstats.logic_levels`` and the STA
+        unit model."""
+        from ..timing.graph import propagate_levels
+
         order = self.topo_order
         if order is None:
             return None
-        levels: dict[int, int] = {}
-        for i in order:
-            preds = self.deps.get(i, ())
-            levels[i] = 1 + max((levels[p] for p in preds), default=-1)
-        return levels
+        return propagate_levels(order, self.deps)
 
     # -- convenience ---------------------------------------------------------
 

@@ -286,29 +286,49 @@ def undef_reachability_pass(
     return findings
 
 
+def _shared_timing(ctx: LintContext):
+    """One memoized unit-delay timing graph per context — the same
+    engine ``zeusc timing`` runs, so depth findings cite the actual
+    critical path the STA would report."""
+    graph = getattr(ctx, "_lint_shared_timing", None)
+    if graph is None:
+        from ..timing.delay import UNIT
+        from ..timing.graph import TimingGraph
+
+        graph = TimingGraph(ctx, UNIT)
+        ctx._lint_shared_timing = graph
+    return graph
+
+
 def limits_pass(ctx: LintContext, config: LintConfig) -> list[Finding]:
-    """Configurable fan-out and logic-depth thresholds (the netstats
-    queries, turned into diagnostics)."""
+    """Configurable fan-out and logic-depth thresholds, computed by the
+    shared timing engine (fan-out = wire load, depth = unit-delay
+    arrival time)."""
     findings = []
-    for ci, count in sorted(ctx.fanout.items()):
+    graph = _shared_timing(ctx)
+    for ci, count in sorted(graph.fanout.items()):
         if count > config.max_fanout:
             findings.append(Finding(
                 FANOUT_LIMIT.name, Severity.WARNING,
                 f"net {ctx.display[ci]!r} drives {count} consumers "
                 f"(limit {config.max_fanout})",
                 ctx.span_of(ci), ctx.display[ci], {"fanout": count}))
-    levels = ctx.levels
-    if levels:
-        depth = max(levels.values(), default=0)
+    if graph.ok:
+        depth = graph.worst_arrival
         if depth > config.max_depth:
-            deepest = max(levels, key=lambda ci: levels[ci])
+            crit = graph.critical_path()
+            deepest = crit[-1]
+            named = [ctx.display[ci] for ci in crit
+                     if not ctx.display[ci].split(".")[-1].startswith("$")]
+            cite = " -> ".join(named if len(named) >= 2
+                               else [ctx.display[ci] for ci in crit])
             findings.append(Finding(
                 DEPTH_LIMIT.name, Severity.WARNING,
                 f"combinational depth is {depth} unit delays "
                 f"(limit {config.max_depth}); deepest net is "
-                f"{ctx.display[deepest]!r}",
+                f"{ctx.display[deepest]!r}; critical path: {cite}",
                 ctx.span_of(deepest), ctx.display[deepest],
-                {"depth": depth}))
+                {"depth": depth, "critical_path": cite}))
     return findings
 
 

@@ -39,6 +39,13 @@ A report is a plain JSON object:
         "solver": {"clauses", "decisions", "nodes", "sat_calls",
                    "depth_reached", "budget_exhausted"}
       },
+      "timing": {                       # omitted if zeustime did not run
+        "model",                        # "unit" | "fanout"
+        "worst_arrival", "min_clock_period",     # null: no registers
+        "paths_reported", "paths_pruned", "violations",
+        "solver": {"sat_calls", "decisions", "nodes",
+                   "budget_exhausted"}
+      },
       "wall": {"elapsed_s", "cycles_per_s"}   # omitted without timing
     }
 
@@ -105,6 +112,7 @@ def metrics_report(
     top: int | None = None,
     lint=None,
     formal=None,
+    timing=None,
 ) -> dict:
     """Assemble the full ``zeus.metrics/1`` report dict."""
     stats = circuit.netlist.stats()
@@ -157,6 +165,21 @@ def metrics_report(
                 "sat_calls": formal.stats.sat_calls,
                 "depth_reached": formal.depth_reached,
                 "budget_exhausted": formal.stats.budget_exhausted,
+            },
+        }
+    if timing is not None:
+        report["timing"] = {
+            "model": timing.model_name,
+            "worst_arrival": timing.worst_arrival,
+            "min_clock_period": timing.min_clock_period,
+            "paths_reported": len(timing.paths),
+            "paths_pruned": len(timing.pruned),
+            "violations": len(timing.violations),
+            "solver": {
+                "sat_calls": timing.solver.sat_calls,
+                "decisions": timing.solver.decisions,
+                "nodes": timing.solver.nodes,
+                "budget_exhausted": timing.solver.budget_exhausted,
             },
         }
     if elapsed is not None:
@@ -281,6 +304,22 @@ def validate_report(report: dict) -> None:
                     "depth_reached"):
             need(solver, key, int, "formal.solver")
         need(solver, "budget_exhausted", bool, "formal.solver")
+
+    if "timing" in report:
+        timing = need(report, "timing", dict, "report")
+        need(timing, "model", str, "timing")
+        need(timing, "worst_arrival", (int, float), "timing")
+        if not isinstance(timing.get("min_clock_period"),
+                          (int, float, type(None))):
+            raise ValueError(
+                "metrics report: timing.min_clock_period must be a "
+                "number or null")
+        for key in ("paths_reported", "paths_pruned", "violations"):
+            need(timing, key, int, "timing")
+        solver = need(timing, "solver", dict, "timing")
+        for key in ("sat_calls", "decisions", "nodes"):
+            need(solver, key, int, "timing.solver")
+        need(solver, "budget_exhausted", bool, "timing.solver")
 
     if "wall" in report:
         wall = need(report, "wall", dict, "report")

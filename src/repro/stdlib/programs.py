@@ -557,6 +557,30 @@ def chessboard(n: int) -> str:
     return CHESSBOARD.replace("chessboard(4);", f"chessboard({n});")
 
 
+#: A textbook false-path demonstrator for the timing analyzer: the
+#: deep arm (the AND chain ``slow``) is selected into ``m1`` only when
+#: ``s`` is 1, but ``m2`` reads ``m1`` only when ``s`` is 0 — the
+#: complementary guards make every slow->m1->m2 path statically
+#: non-sensitizable, so SAT pruning demotes the raw critical path and
+#: the reported one goes through the fast arm instead.
+FALSEPATH = """
+TYPE falsepath = COMPONENT (IN a, b, c, d, s: boolean;
+                            OUT y: boolean) IS
+SIGNAL m1, m2: multiplex;
+SIGNAL slow: boolean;
+BEGIN
+    slow := AND(a, AND(b, AND(c, AND(d, a))));
+    IF s THEN m1 := slow END;
+    IF NOT(s) THEN m1 := a END;
+    IF NOT(s) THEN m2 := AND(m1, b) END;
+    IF s THEN m2 := c END;
+    y := OR(m2, d)
+END;
+
+SIGNAL fp: falsepath;
+"""
+
+
 #: All named programs, for the CLI and the test suite.
 ALL_PROGRAMS: dict[str, str] = {
     "adders": ADDERS,
@@ -569,4 +593,5 @@ ALL_PROGRAMS: dict[str, str] = {
     "patternmatch": PATTERNMATCH,
     "section8": SECTION8,
     "chessboard": CHESSBOARD,
+    "falsepath": FALSEPATH,
 }

@@ -1,0 +1,98 @@
+"""Delay models for the static timing analyzer.
+
+Two built-in models:
+
+``unit``
+    Every timing arc costs exactly 1 (an int).  Arrival times are then
+    *identical* to the unit-delay logic levels the repo has always
+    reported (``netstats.logic_depth``, lint ZL051), which keeps every
+    pre-existing depth number reproducible — the default.
+
+``fanout``
+    A coarse technology proxy: each arc costs the *gate delay* of the
+    receiving element (per-opcode, XOR/EQUAL cost more than NAND/NOR,
+    inverters less) plus a wire-delay estimate proportional to the
+    fan-out of the driving net beyond its first consumer (every extra
+    consumer loads the wire).  Numbers are floats in "inverter units";
+    they are deliberately round — the point is relative path ordering,
+    not SPICE accuracy.
+
+Models are duck-typed on ``edge_delay(edge, src_fanout) -> number``;
+custom models only need that method and a ``name``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Per-opcode gate delays for the fanout model, in inverter units.
+#: Monotone in the gate's CMOS series-stack depth: NOT < NAND/NOR <
+#: AND/OR (an extra inverting stage) < XOR/EQUAL (two stages + both
+#: polarities of every input).
+GATE_DELAYS: dict[str, float] = {
+    "NOT": 1.0,
+    "NAND": 1.5,
+    "NOR": 1.5,
+    "AND": 2.0,
+    "OR": 2.0,
+    "XOR": 3.0,
+    "EQUAL": 3.0,
+    "RANDOM": 1.0,
+}
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """A configurable arc-delay model.
+
+    ``gate_delays`` maps opcodes to delays (``default_gate`` covers the
+    rest); ``drive_delay`` prices a connection arc (the pass gate of a
+    multiplex arm or a plain copy), ``guard_delay`` the enable arc of a
+    conditional driver; ``wire_factor`` scales the fan-out-derived wire
+    term ``wire_factor * max(0, fanout(src) - 1)`` added to every arc.
+    """
+
+    name: str = "unit"
+    gate_delays: dict = field(default_factory=dict)
+    default_gate: float = 1
+    drive_delay: float = 1
+    guard_delay: float = 1
+    wire_factor: float = 0.0
+
+    def edge_delay(self, edge, src_fanout: int):
+        if edge.kind == "gate":
+            base = self.gate_delays.get(edge.gate.op, self.default_gate)
+        elif edge.kind == "guard":
+            base = self.guard_delay
+        else:
+            base = self.drive_delay
+        wire = self.wire_factor * max(0, src_fanout - 1)
+        return base + wire if wire else base
+
+
+#: The default: integer unit delays, bit-for-bit the historical levels.
+UNIT = DelayModel(name="unit")
+
+#: Per-opcode gate delays + fan-out wire estimates.
+FANOUT = DelayModel(
+    name="fanout",
+    gate_delays=dict(GATE_DELAYS),
+    default_gate=2.0,
+    drive_delay=1.0,
+    guard_delay=1.0,
+    wire_factor=0.25,
+)
+
+MODELS: dict[str, DelayModel] = {"unit": UNIT, "fanout": FANOUT}
+
+
+def get_model(name) -> DelayModel:
+    """Resolve a model by name (or pass a DelayModel through)."""
+    if isinstance(name, DelayModel):
+        return name
+    try:
+        return MODELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown delay model {name!r}; choose from "
+            f"{sorted(MODELS)}") from None

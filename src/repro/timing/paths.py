@@ -1,0 +1,108 @@
+"""K-worst path enumeration over the timing graph.
+
+Best-first backward search: the heap holds *partial* paths — a suffix
+from some head class down to an endpoint — keyed by the exact total
+delay of the best completion, ``arrival[head] + suffix_delay``.
+Because ``arrival[head]`` is precisely the longest prefix ending at
+*head*, the key is an exact (not heuristic) bound, so completed paths
+pop in non-increasing total-delay order: the first k completions are
+the k worst paths, full stop.  This is what lets the false-path layer
+prune a path and keep pulling — the next pop is always the next-worst
+candidate.
+
+Paths are structural objects (net classes + the edges between them),
+cheap enough that enumerating a few thousand candidates on the paper
+corpus is instant; ``max_pops`` bounds the search on pathological
+designs (reconvergent meshes have exponentially many paths).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from .graph import TimingEdge, TimingGraph
+
+
+@dataclass
+class TimingPath:
+    """One complete startpoint -> endpoint path."""
+
+    start: int
+    end: int
+    end_kind: str  # "reg" | "out"
+    delay: object  # int (unit model) or float
+    #: edges source-to-sink; nets has one more entry than edges.
+    edges: list[TimingEdge]
+    nets: list[int]
+    #: "in2reg" | "reg2reg" | "reg2out" | "in2out" | "net2reg" | ...
+    kind: str = ""
+    #: filled by the false-path layer.
+    sensitization: str = "assumed"
+    reason: str = ""
+    witness: dict | None = None
+    replay_confirmed: bool | None = None
+    replay_detail: str = ""
+    slack: object = None
+
+    @property
+    def is_false(self) -> bool:
+        return self.sensitization == "proved-false"
+
+    def render(self, ctx, hide_synthetic: bool = True) -> str:
+        """The path as a net chain, source first."""
+        names = [ctx.display[ci] for ci in self.nets]
+        if hide_synthetic:
+            kept = [n for n in names if not n.split(".")[-1].startswith("$")]
+            if len(kept) >= 2:
+                names = kept
+        return " -> ".join(names)
+
+
+def enumerate_paths(graph: TimingGraph, *, max_pops: int = 20_000):
+    """Yield complete paths in non-increasing delay order, worst first.
+
+    Generator so the caller (the false-path pruner) can stop as soon as
+    it has k *true* paths.  Raises nothing on budget exhaustion — it
+    simply stops; the caller reads ``graph`` arrivals for the assumed
+    bound on anything not enumerated.
+    """
+    arr = graph.arrival
+    if arr is None:
+        return
+    heap: list = []
+    counter = 0
+    for ci, kind in graph.endpoints:
+        # Suffixes grow head-ward as linked tuples (edge, rest).
+        heapq.heappush(heap, (-arr[ci], counter, ci, kind, 0, None))
+        counter += 1
+    pops = 0
+    while heap and pops < max_pops:
+        neg, _, head, end_kind, suffix_delay, suffix = heapq.heappop(heap)
+        pops += 1
+        in_edges = graph.edges_in[head]
+        if not in_edges:
+            edges = []
+            node = suffix
+            while node is not None:
+                edges.append(node[0])
+                node = node[1]
+            nets = [head] + [e.dst for e in edges]
+            start_kind = graph.start_kind(head)
+            yield TimingPath(
+                start=head,
+                end=nets[-1],
+                end_kind=end_kind,
+                delay=-neg,
+                edges=edges,
+                nets=nets,
+                kind=f"{start_kind}2{end_kind}",
+            )
+            continue
+        for edge in in_edges:
+            d = graph.edge_delay(edge)
+            total = suffix_delay + d
+            heapq.heappush(heap, (
+                -(arr[edge.src] + total), counter, edge.src, end_kind,
+                total, (edge, suffix)))
+            counter += 1
