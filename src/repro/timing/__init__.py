@@ -24,7 +24,7 @@ from __future__ import annotations
 from .delay import FANOUT, GATE_DELAYS, MODELS, UNIT, DelayModel, get_model
 from .falsepath import PathChecker
 from .graph import TimingEdge, TimingGraph, propagate_levels
-from .paths import TimingPath, enumerate_paths
+from .paths import EnumStats, TimingPath, enumerate_paths
 from .report import (
     SCHEMA,
     TimingReport,
@@ -35,7 +35,7 @@ from .report import (
 __all__ = [
     "DelayModel", "UNIT", "FANOUT", "MODELS", "GATE_DELAYS", "get_model",
     "TimingGraph", "TimingEdge", "propagate_levels",
-    "TimingPath", "enumerate_paths", "PathChecker",
+    "TimingPath", "enumerate_paths", "EnumStats", "PathChecker",
     "TimingReport", "validate_timing_report", "write_timing_report",
     "SCHEMA", "analyze_timing",
 ]
@@ -119,7 +119,9 @@ def analyze_timing(circuit, *, model="unit", clock=None, k: int = 4,
         true_paths: list[TimingPath] = []
         examined = 0
         exhausted = True  # generator ran dry (all paths seen)
-        for p in enumerate_paths(graph, max_pops=max_pops):
+        enum_stats = EnumStats()
+        for p in enumerate_paths(graph, max_pops=max_pops,
+                                 stats=enum_stats):
             examined += 1
             if checker is not None and checker.stats.sat_calls < max_sat:
                 checker.classify(circuit, p)
@@ -145,13 +147,16 @@ def analyze_timing(circuit, *, model="unit", clock=None, k: int = 4,
                 exhausted = False  # stopped on purpose, not dry
                 break
         else:
-            # The generator stopped: either every path was seen, or
-            # max_pops tripped — assume the raw bound in the latter
-            # case (pessimistic, never optimistic).
-            if examined >= max_pops and has_regs and min_clock is None:
+            # The generator stopped: either the heap ran dry (every
+            # path seen) or the pop budget tripped with candidates
+            # still queued — assume the raw arrival bound in the
+            # latter case (pessimistic, never optimistic).
+            if enum_stats.budget_tripped and has_regs \
+                    and min_clock is None:
                 min_clock = max(reg_arrivals)
                 min_clock_exact = False
-        if has_regs and min_clock is None and exhausted:
+        if (has_regs and min_clock is None and exhausted
+                and not enum_stats.budget_tripped):
             # Every register-endpoint path was enumerated and proved
             # false: no combinational path constrains the clock.
             min_clock = 0

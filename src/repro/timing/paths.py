@@ -25,6 +25,21 @@ from .graph import TimingEdge, TimingGraph
 
 
 @dataclass
+class EnumStats:
+    """Filled in by :func:`enumerate_paths` when its generator returns.
+
+    ``budget_tripped`` distinguishes "the heap ran dry" (every path was
+    seen) from "``max_pops`` stopped the search with candidates still
+    queued" — the caller must stay pessimistic in the latter case.
+    Only valid once the generator is exhausted; a caller that breaks
+    out early never reads it.
+    """
+
+    pops: int = 0
+    budget_tripped: bool = False
+
+
+@dataclass
 class TimingPath:
     """One complete startpoint -> endpoint path."""
 
@@ -59,13 +74,17 @@ class TimingPath:
         return " -> ".join(names)
 
 
-def enumerate_paths(graph: TimingGraph, *, max_pops: int = 20_000):
+def enumerate_paths(graph: TimingGraph, *, max_pops: int = 20_000,
+                    stats: EnumStats | None = None):
     """Yield complete paths in non-increasing delay order, worst first.
 
     Generator so the caller (the false-path pruner) can stop as soon as
     it has k *true* paths.  Raises nothing on budget exhaustion — it
-    simply stops; the caller reads ``graph`` arrivals for the assumed
-    bound on anything not enumerated.
+    simply stops, recording ``stats.budget_tripped`` (``max_pops``
+    counts heap pops of *partial* suffixes, so the caller cannot infer
+    exhaustion from the number of complete paths yielded); the caller
+    reads ``graph`` arrivals for the assumed bound on anything not
+    enumerated.
     """
     arr = graph.arrival
     if arr is None:
@@ -106,3 +125,6 @@ def enumerate_paths(graph: TimingGraph, *, max_pops: int = 20_000):
                 -(arr[edge.src] + total), counter, edge.src, end_kind,
                 total, (edge, suffix)))
             counter += 1
+    if stats is not None:
+        stats.pops = pops
+        stats.budget_tripped = bool(heap)

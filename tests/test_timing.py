@@ -108,6 +108,21 @@ class TestAnalyzeCorpus:
         levels = netstats.register_paths(circuit.netlist)
         assert report.min_clock_period <= max(levels.values())
 
+    def test_pop_budget_stays_pessimistic(self):
+        # max_pops counts heap pops of partial suffixes, not complete
+        # paths; when it trips before any reg path is enumerated the
+        # report must fall back to the raw arrival bound, never claim
+        # an exact min clock of 0 (regression: budget exhaustion was
+        # mistaken for proved-false exhaustion).
+        circuit = _compile("blackjack")
+        full = analyze_timing(circuit, sat=False)
+        assert full.min_clock_exact
+        for sat in (False, True):
+            tight = analyze_timing(circuit, sat=sat, max_pops=5)
+            assert tight.min_clock_period is not None
+            assert tight.min_clock_period >= full.min_clock_period
+            assert not tight.min_clock_exact
+
     def test_fanout_model_orders_paths_consistently(self):
         circuit = _compile("adders")
         unit = analyze_timing(circuit, k=1, sat=False)
