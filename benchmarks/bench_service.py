@@ -1,0 +1,241 @@
+"""zeusd service benchmark: compile cache and session multiplexing.
+
+Two measurements, merged into the repo-root ``BENCH_simulator.json``
+under a ``service`` key:
+
+* **Compile throughput over HTTP** -- requests/sec against a live
+  daemon at 1, 8 and 32 concurrent keep-alive clients, cold (every
+  request a distinct source, so every request compiles) vs warm (the
+  same sources again, so every request is a content-hash cache hit).
+  The acceptance bar is 10x: warm-cache compiles must be at least that
+  much faster than cold at the best client count.
+
+* **Session multiplexing** -- aggregate session-cycles/sec of 32 sim
+  sessions lane-muxed onto ONE shared batched simulator (lockstep
+  ``step_all``) vs the same 32 sessions run sequentially as isolated
+  scalar levelized simulators.  The bar is 5x.
+
+Used by the CI benchmark-smoke job::
+
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        --requests 8 --cycles 40 --out BENCH_simulator.json \
+        --min-warm-speedup 10 --min-mux-speedup 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import threading
+import time
+
+import repro
+from repro.core.simulator import Simulator
+from repro.service import LaneMux, ZeusClient, serve_in_thread
+from repro.stdlib.programs import ALL_PROGRAMS
+
+from bench_batched import merge_into_summary
+
+CLIENT_COUNTS = (1, 8, 32)
+
+HALF = """
+TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS
+BEGIN
+    s := XOR(a,b);
+    cout := AND(a,b)
+END;
+SIGNAL h: halfadder;
+"""
+
+
+def _sources(clients: int, requests: int) -> list[list[str]]:
+    """Per-client request lists of *distinct* sources (a comment nonce
+    changes the content hash without changing the design)."""
+    return [
+        [f"<* nonce {c}/{r} *>\n{HALF}" for r in range(requests)]
+        for c in range(clients)
+    ]
+
+
+def _hammer(port: int, sources: list[list[str]]) -> float:
+    """All clients fire their request lists concurrently; returns
+    aggregate requests/sec."""
+    barrier = threading.Barrier(len(sources) + 1)
+    errors: list[str] = []
+
+    def worker(batch: list[str]) -> None:
+        client = ZeusClient(port)
+        try:
+            barrier.wait()
+            for source in batch:
+                status, _ = client.compile(source)
+                if status != 200:
+                    errors.append(f"HTTP {status}")
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(batch,))
+        for batch in sources
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    if errors:
+        raise RuntimeError(f"compile requests failed: {errors[:3]}")
+    total = sum(len(batch) for batch in sources)
+    return total / elapsed
+
+
+def measure_compile(requests: int, client_counts=CLIENT_COUNTS) -> dict:
+    """Cold vs warm compile requests/sec at each client count, against
+    one daemon (cache cleared before every cold pass)."""
+    per_clients: dict[str, dict] = {}
+    with serve_in_thread(cache_size=1024) as runner:
+        admin = ZeusClient(runner.port)
+        try:
+            for clients in client_counts:
+                sources = _sources(clients, requests)
+                admin.request("POST", "/v1/cache/clear")
+                cold = _hammer(runner.port, sources)
+                warm = _hammer(runner.port, sources)
+                per_clients[str(clients)] = {
+                    "cold_rps": cold,
+                    "warm_rps": warm,
+                    "warm_speedup": warm / cold,
+                }
+            _, report = admin.metrics()
+        finally:
+            admin.close()
+    return {
+        "requests_per_client": requests,
+        "clients": per_clients,
+        "cache_hit_rate": report["service"]["cache"]["hit_rate"],
+    }
+
+
+def measure_mux(sessions: int, cycles: int) -> dict:
+    """32 lane-muxed sessions stepping in lockstep on one shared
+    batched simulator vs the same sessions as sequential scalar runs."""
+    circuit = repro.compile_text(
+        ALL_PROGRAMS["blackjack"], "bj", strict=False
+    )
+
+    mux = LaneMux(circuit, lanes=sessions)
+    for seed in range(sessions):
+        mux.attach(seed)
+    mux.step_all(1)  # warm: schedule + plane buffers built
+    t0 = time.perf_counter()
+    mux.step_all(cycles)
+    mux_rate = sessions * cycles / (time.perf_counter() - t0)
+
+    sims = [
+        Simulator(circuit.design, strict=False, seed=seed,
+                  engine="levelized")
+        for seed in range(sessions)
+    ]
+    for sim in sims:
+        sim.step()
+    t0 = time.perf_counter()
+    for sim in sims:
+        sim.step(cycles)
+    scalar_rate = sessions * cycles / (time.perf_counter() - t0)
+
+    # the mux really ran every session: lane contract spot-check
+    ref = Simulator(circuit.design, strict=False, seed=3,
+                    engine="levelized")
+    ref.step(1 + cycles)
+    if mux.sessions[3].registers() != ref.registers():
+        raise RuntimeError(
+            "mux session diverged from scalar; not benchmarking a "
+            "broken multiplexer"
+        )
+    return {
+        "workload": "blackjack",
+        "sessions": sessions,
+        "cycles": cycles,
+        "mux_cycles_per_s": mux_rate,
+        "sequential_cycles_per_s": scalar_rate,
+        "speedup": mux_rate / scalar_rate,
+    }
+
+
+def run_benchmark(requests=8, cycles=40, sessions=32,
+                  client_counts=CLIENT_COUNTS) -> dict:
+    return {
+        "compile": measure_compile(requests, client_counts),
+        "mux": measure_mux(sessions, cycles),
+    }
+
+
+def best_warm_speedup(results: dict) -> float:
+    return max(
+        entry["warm_speedup"]
+        for entry in results["compile"]["clients"].values()
+    )
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--requests", type=int, default=8,
+                    help="compile requests per client (default 8)")
+    ap.add_argument("--cycles", type=int, default=40,
+                    help="cycles per mux session (default 40)")
+    ap.add_argument("--sessions", type=int, default=32,
+                    help="muxed sessions (default 32)")
+    ap.add_argument("--out", default="BENCH_simulator.json",
+                    help="summary JSON to merge into")
+    ap.add_argument("--min-warm-speedup", type=float, default=None,
+                    help="fail unless warm/cold compile clears this bar")
+    ap.add_argument("--min-mux-speedup", type=float, default=None,
+                    help="fail unless mux/sequential clears this bar")
+    args = ap.parse_args(argv)
+
+    results = run_benchmark(args.requests, args.cycles, args.sessions)
+    for clients, entry in sorted(
+        results["compile"]["clients"].items(), key=lambda kv: int(kv[0])
+    ):
+        print(f"compile {int(clients):>2} clients: "
+              f"cold {entry['cold_rps']:>8,.1f} req/s   "
+              f"warm {entry['warm_rps']:>10,.1f} req/s   "
+              f"({entry['warm_speedup']:.1f}x)")
+    mux = results["mux"]
+    print(f"mux {mux['sessions']} sessions: "
+          f"{mux['mux_cycles_per_s']:>12,.0f} session-c/s   "
+          f"sequential {mux['sequential_cycles_per_s']:>10,.0f}   "
+          f"speedup {mux['speedup']:.1f}x")
+    merge_into_summary(args.out, results, key="service")
+    print(f"wrote {args.out}")
+
+    failed = False
+    if (args.min_warm_speedup is not None
+            and best_warm_speedup(results) < args.min_warm_speedup):
+        print(f"FAIL: warm-cache speedup {best_warm_speedup(results):.1f}x "
+              f"< required {args.min_warm_speedup}x")
+        failed = True
+    if (args.min_mux_speedup is not None
+            and mux["speedup"] < args.min_mux_speedup):
+        print(f"FAIL: mux speedup {mux['speedup']:.2f}x "
+              f"< required {args.min_mux_speedup}x")
+        failed = True
+    return 1 if failed else 0
+
+
+# -- tier-1 smoke (bench_*.py files are collected by pytest) ---------------
+
+def test_bench_service_summary_shape(tmp_path):
+    out = tmp_path / "BENCH_simulator.json"
+    results = run_benchmark(requests=2, cycles=3, sessions=4,
+                            client_counts=(1, 2))
+    assert set(results["compile"]["clients"]) == {"1", "2"}
+    assert results["compile"]["cache_hit_rate"] > 0
+    assert results["mux"]["speedup"] > 0
+    summary = merge_into_summary(str(out), results, key="service")
+    assert summary["service"] == results
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

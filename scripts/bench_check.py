@@ -2,7 +2,7 @@
 
 Re-runs the benchmark drivers (``benchmarks/bench_engines.py``,
 ``bench_batched.py``, ``bench_codegen.py``, ``bench_flight.py``,
-``bench_timing.py``) and
+``bench_timing.py``, ``bench_service.py``) and
 compares the fresh cycles/sec against the committed
 ``BENCH_simulator.json`` with a
 tolerance band: a metric that lands more than ``--tolerance`` (default
@@ -37,6 +37,7 @@ import bench_batched  # noqa: E402
 import bench_codegen  # noqa: E402
 import bench_engines  # noqa: E402
 import bench_flight  # noqa: E402
+import bench_service  # noqa: E402
 import bench_timing  # noqa: E402
 
 
@@ -69,6 +70,18 @@ def committed_metrics(summary: dict) -> dict[str, float]:
     if timing:
         for label, entry in timing.get("workloads", {}).items():
             out[f"timing.{label}.analyses_per_s"] = entry["analyses_per_s"]
+    service = summary.get("service")
+    if service:
+        for n, entry in service["compile"]["clients"].items():
+            out[f"service.compile.{n}_clients.cold_rps"] = entry["cold_rps"]
+            out[f"service.compile.{n}_clients.warm_rps"] = entry["warm_rps"]
+        out["service.compile.warm_speedup"] = (
+            bench_service.best_warm_speedup(service)
+        )
+        out["service.mux.cycles_per_s"] = (
+            service["mux"]["mux_cycles_per_s"]
+        )
+        out["service.mux.speedup"] = service["mux"]["speedup"]
     return out
 
 
@@ -85,6 +98,9 @@ def fresh_summary(cycles: int, seed: int = 0) -> dict:
     )
     summary["flight"] = bench_flight.run_benchmark(cycles, seed=seed)
     summary["timing"] = bench_timing.run_benchmark(repeat=1)
+    summary["service"] = bench_service.run_benchmark(
+        requests=4, cycles=max(cycles // 20, 5)
+    )
     return summary
 
 

@@ -1,0 +1,107 @@
+"""CI smoke for zeusd: boot on an ephemeral port, round-trip every
+major endpoint, assert the content-hash cache actually hits, and write
+the daemon's ``zeus.metrics/1`` report as the CI artifact.
+
+Usage::
+
+    PYTHONPATH=src python scripts/service_smoke.py --out service-out
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.obs import validate_report  # noqa: E402
+from repro.service import ZeusClient, serve_in_thread  # noqa: E402
+from repro.stdlib.programs import ALL_PROGRAMS  # noqa: E402
+
+HALF = """
+TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS
+BEGIN
+    s := XOR(a,b);
+    cout := AND(a,b)
+END;
+SIGNAL h: halfadder;
+"""
+
+
+def check(ok: bool, what: str) -> None:
+    status = "ok" if ok else "FAIL"
+    print(f"{what:<44} {status}")
+    if not ok:
+        raise SystemExit(f"service smoke failed: {what}")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default="service-out",
+                    help="artifact directory (default service-out)")
+    args = ap.parse_args(argv)
+    os.makedirs(args.out, exist_ok=True)
+
+    with serve_in_thread(lanes=8, workers=2) as runner:
+        print(f"zeusd on ephemeral port {runner.port}")
+        client = ZeusClient(runner.port)
+        try:
+            status, body = client.health()
+            check(status == 200 and body["status"] == "ok", "GET /v1/health")
+
+            status, cold = client.compile(HALF)
+            check(status == 200 and cold["cached"] is False,
+                  "POST /v1/compile (cold miss)")
+            status, warm = client.compile(HALF)
+            check(status == 200 and warm["cached"] is True
+                  and warm["key"] == cold["key"],
+                  "POST /v1/compile (warm hit)")
+
+            status, body = client.lint(HALF)
+            check(status == 200 and body["exit_code"] == 0, "POST /v1/lint")
+
+            status, body = client.sim(
+                HALF, cycles=2, pokes=[[0, "a", 1], [0, "b", 1]]
+            )
+            check(status == 200 and body["signals"]["cout"] == ["1"],
+                  "POST /v1/sim")
+
+            status, body = client.prove(HALF, depth=2, budget=20_000)
+            check(status == 200 and body["report"]["verdict"] == "proved",
+                  "POST /v1/prove")
+
+            status, body = client.open_session(
+                ALL_PROGRAMS["blackjack"], top="bj", strict=False, seed=7
+            )
+            check(status == 200, "POST /v1/session/open")
+            sid = body["session"]
+            status, body = client.session(sid, "step", {"cycles": 8})
+            check(status == 200 and body["cycle"] == 8,
+                  "POST /v1/session/<id>/step")
+            status, _ = client.close_session(sid)
+            check(status == 200, "DELETE /v1/session/<id>")
+
+            status, report = client.metrics()
+            check(status == 200, "GET /v1/metrics")
+            validate_report(report)
+            service = report["service"]
+            check(service["cache"]["hits"] >= 1
+                  and service["cache"]["hit_rate"] > 0,
+                  "compile cache hit recorded")
+            check(service["requests"]["errors"] == 0, "no request errors")
+        finally:
+            client.close()
+
+    path = os.path.join(args.out, "service.metrics.json")
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -78,7 +78,44 @@ def _load(args: argparse.Namespace) -> Circuit:
         with open(args.file, "r", encoding="utf-8") as f:
             text = f.read()
         name = args.file
-    return compile_text(text, top=args.top, name=name, strict=not args.lenient)
+    try:
+        return compile_text(
+            text, top=args.top, name=name, strict=not args.lenient
+        )
+    except ZeusError as exc:
+        # Keep the failing source on the exception so --format json
+        # error payloads can carry line/column positions.
+        exc.source_text = text
+        exc.source_name = name
+        raise
+
+
+def _report_error(args: argparse.Namespace, exc: ZeusError) -> int:
+    """The exit-2 contract with a machine face: ``--format json``
+    subcommands emit the ``zeus.error/1`` payload (the same renderer
+    zeusd uses) on stdout/-o; everything else keeps the one-line
+    stderr message."""
+    import json
+
+    from .lang import SourceText
+    from .lang.errors import error_payload
+
+    if getattr(args, "format", None) == "json":
+        source = None
+        if getattr(exc, "source_text", None) is not None:
+            source = SourceText(exc.source_text, exc.source_name)
+        text = json.dumps(
+            error_payload(exc, source), indent=2, sort_keys=True
+        ) + "\n"
+        output = getattr(args, "output", None)
+        if output:
+            with open(output, "w", encoding="utf-8") as f:
+                f.write(text)
+            print(f"wrote {output}")
+        else:
+            print(text, end="")
+    print(f"error: {exc}", file=sys.stderr)
+    return 2
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -345,9 +382,44 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--no-synthetic", action="store_true",
                    help="hide elaborator-synthesized helper nets")
 
+    p = sub.add_parser(
+        "serve",
+        help="zeusd: serve compile/lint/sim/prove/timing over HTTP "
+             "(content-hash compile cache, process-pool SAT shards, "
+             "lane-multiplexed sim sessions)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8471)
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="process-pool shards (default: one per CPU)")
+    p.add_argument("--lanes", type=int, default=16, metavar="L",
+                   help="sim-session lanes per design (default 16)")
+    p.add_argument("--cache-size", type=int, default=128, metavar="N",
+                   help="compile-cache capacity (default 128)")
+    p.add_argument("--max-queue", type=int, default=None, metavar="N",
+                   help="pool backlog before 503 shedding "
+                        "(default 2x workers)")
+    p.add_argument("--timeout", type=float, default=60.0, metavar="S",
+                   help="per-request pool deadline (default 60s)")
+
     sub.add_parser("examples", help="list bundled paper programs")
 
     args = parser.parse_args(argv)
+
+    if args.cmd == "serve":
+        from .service.server import main as serve_main
+
+        serve_argv = [
+            "--host", args.host, "--port", str(args.port),
+            "--lanes", str(args.lanes),
+            "--cache-size", str(args.cache_size),
+            "--timeout", str(args.timeout),
+        ]
+        if args.workers is not None:
+            serve_argv += ["--workers", str(args.workers)]
+        if args.max_queue is not None:
+            serve_argv += ["--max-queue", str(args.max_queue)]
+        return serve_main(serve_argv)
 
     if args.cmd == "examples":
         for name in sorted(programs.ALL_PROGRAMS):
@@ -380,11 +452,10 @@ def _dispatch(args: argparse.Namespace, registry) -> int:
     try:
         circuit = _load(args)
     except ZeusError as exc:
-        print(f"error: {exc}", file=sys.stderr)
         # Every subcommand follows the exit-code contract: a design that
         # fails to parse/elaborate/check is an error, never a traceback
         # (and never a silent 1 that looks like mere warnings).
-        return 2
+        return _report_error(args, exc)
 
     if args.cmd == "check":
         for diag in circuit.diagnostics.diagnostics:
@@ -862,8 +933,7 @@ def _equiv(args: argparse.Namespace, registry) -> int:
             builtin=args.builtin2, file=args.file2, top=args.top2,
             lenient=args.lenient))
     except ZeusError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return _report_error(args, exc)
     config = FormalConfig(depth=args.depth, budget=args.budget,
                           induction=not args.no_induction)
     try:

@@ -130,6 +130,7 @@ class Simulator:
         lanes: int = 64,
         backend: str = "auto",
         flight=None,
+        schedule: Schedule | None = None,
     ):
         self.design = design
         self.netlist = design.netlist
@@ -188,6 +189,7 @@ class Simulator:
         for gi, ins in enumerate(self._gate_in):
             for i in ins:
                 self._gate_watch.setdefault(i, []).append(gi)
+        self._has_random = any(g.op == "RANDOM" for g in self._gates)
 
         # Registers.
         self._reg_d = [self._idx(r.d) for r in self.netlist.regs]
@@ -276,8 +278,11 @@ class Simulator:
             from ..obs.spans import span
 
             try:
-                with span("schedule", design=self.design.name):
-                    self._schedule = build_schedule(self)
+                if schedule is not None:
+                    self._schedule = schedule
+                else:
+                    with span("schedule", design=self.design.name):
+                        self._schedule = build_schedule(self)
                 self._batched_fast = True
             except ScheduleError as exc:
                 self.engine_reason = (
@@ -313,8 +318,11 @@ class Simulator:
             from ..obs.spans import span
 
             try:
-                with span("schedule", design=self.design.name):
-                    self._schedule = build_schedule(self)
+                if schedule is not None:
+                    self._schedule = schedule
+                else:
+                    with span("schedule", design=self.design.name):
+                        self._schedule = build_schedule(self)
                 self.engine = "levelized"
             except ScheduleError as exc:
                 if engine == "levelized":
@@ -547,6 +555,228 @@ class Simulator:
         from .values import num_of
 
         return num_of(self.peek_lane(path, lane))
+
+    # -- lane sessions (the zeusd multiplexer's primitives) -------------------
+    #
+    # A *lane session* treats one lane of a shared batched simulator as
+    # an independent user simulation: :meth:`reset_lane` hands the lane
+    # out fresh (registers UNDEF, no pokes, rng reseeded),
+    # :meth:`poke_lane`/:meth:`unpoke_lane` drive only that lane, and
+    # :meth:`step_lanes` advances a *subset* of lanes one cycle while
+    # every other lane is provably untouched: its register planes are
+    # not latched, its value-plane bits are restored after the pass, its
+    # rng stream does not advance, and its phantom violations are
+    # dropped.  A session stepped n times with seed q therefore observes
+    # exactly what an isolated scalar run seeded q would after n cycles,
+    # regardless of how other lanes interleave (the batched engine's
+    # lane-isolation contract, per lane-mask).
+
+    def _lane_bit(self, lane: int) -> int:
+        if self.lanes is None:
+            raise SimulationError(
+                "lane sessions need engine='batched' or 'codegen' "
+                f"(this simulator runs {self.engine!r})"
+            )
+        if not 0 <= lane < self.lanes:
+            raise ValueError(f"lane {lane} out of range 0..{self.lanes - 1}")
+        return 1 << lane
+
+    def reset_lane(self, lane: int, seed: int | None = None) -> None:
+        """Return *lane* to a fresh-run state: registers UNDEF, value
+        planes UNDEF, every poke on the lane released, and -- when
+        *seed* is given -- the lane rng reseeded so the lane behaves
+        like a scalar run constructed with that seed."""
+        bit = self._lane_bit(lane)
+        if self._cg_vals_stale:
+            self._cg_sync_vals()
+        if self._cg_regs_stale:
+            self._cg_sync_regs()
+        if self._cg is not None and self._cg.backend == "numpy":
+            self._cg_demote("lane session reset")
+        for ri in range(len(self._breg0)):
+            self._breg0[ri] |= bit
+            self._breg1[ri] |= bit
+        for i in range(len(self._bvals0)):
+            self._bvals0[i] |= bit
+            self._bvals1[i] |= bit
+        self._clear_lane_pokes(bit)
+        if seed is not None:
+            self._lane_rngs[lane] = random.Random(seed)
+        self._values_stale = True
+        self._cg_dirty = True
+
+    def _clear_lane_pokes(self, bit: int) -> None:
+        stale = [i for i, (p0, p1, pm) in self._bpokes.items() if pm & bit]
+        for i in stale:
+            p0, p1, pm = self._bpokes[i]
+            pm &= ~bit
+            if pm:
+                self._bpokes[i] = (p0 & ~bit, p1 & ~bit, pm)
+            else:
+                del self._bpokes[i]
+
+    def poke_lane(self, path: str, lane: int, value: PokeValue) -> None:
+        """Set a signal on one lane only, leaving every other lane's
+        poke of *path* (or its input default) in place."""
+        bit = self._lane_bit(lane)
+        nets = self.nets_of(path)
+        try:
+            bits = _coerce_bits(value, len(nets), path)
+        except (TypeError, ValueError) as exc:
+            msg = str(exc)
+            prefix = f"poke {path!r}: "
+            if msg.startswith(prefix):
+                msg = msg[len(prefix):]
+            raise type(exc)(f"poke {path!r} lane {lane}: {msg}") from None
+        for net, b in zip(nets, bits):
+            i = self._idx(net)
+            b0, b1 = LOGIC_PLANES[b]
+            p0, p1, pm = self._bpokes.get(i, (0, 0, 0))
+            self._bpokes[i] = (
+                (p0 & ~bit) | (bit if b0 else 0),
+                (p1 & ~bit) | (bit if b1 else 0),
+                pm | bit,
+            )
+        self._cg_dirty = True
+
+    def unpoke_lane(self, path: str, lane: int) -> None:
+        """Release one lane's poke of *path* (back to the input
+        default), leaving the other lanes' pokes in place."""
+        bit = self._lane_bit(lane)
+        for net in self.nets_of(path):
+            i = self._idx(net)
+            pk = self._bpokes.get(i)
+            if pk is None:
+                continue
+            p0, p1, pm = pk
+            pm &= ~bit
+            if pm:
+                self._bpokes[i] = (p0 & ~bit, p1 & ~bit, pm)
+            else:
+                del self._bpokes[i]
+        self._cg_dirty = True
+
+    def step_lanes(
+        self, active: "int | Iterable[int]", cycles: int = 1
+    ) -> list[Violation]:
+        """Advance only the *active* lanes (a bitmask or an iterable of
+        lane indices) through *cycles* full clock cycles.
+
+        Frozen (non-active) lanes are completely unaffected: their
+        registers do not latch, their value-plane bits are restored
+        after each pass, their rng streams do not advance, and
+        violations raised on them are discarded (they will re-occur,
+        identically, on the lane's own next active step).  Returns the
+        new violations recorded for active lanes, stamped with this
+        simulator's shared cycle counter (a session multiplexer remaps
+        them to per-session cycles).
+
+        In strict mode a violation on an *active* lane raises after the
+        pass completes; frozen-lane phantoms never raise.
+        """
+        if isinstance(active, int):
+            amask = active
+        else:
+            amask = 0
+            for k in active:
+                amask |= self._lane_bit(k)
+        if self.lanes is None:
+            raise SimulationError(
+                "step_lanes needs engine='batched' or 'codegen' "
+                f"(this simulator runs {self.engine!r})"
+            )
+        M = self._lane_mask
+        if amask & ~M:
+            raise ValueError(
+                f"active mask {amask:#x} selects lanes beyond "
+                f"{self.lanes - 1}"
+            )
+        fmask = M & ~amask
+        if not amask:
+            return []
+        if self._cg is not None and self._cg.backend == "numpy":
+            # The numpy backend has no cheap per-lane merge; run the
+            # session workload on big-int planes instead.
+            if self._cg_vals_stale:
+                self._cg_sync_vals()
+            if self._cg_regs_stale:
+                self._cg_sync_regs()
+            self._cg_demote("lane-masked stepping")
+        fresh: list[Violation] = []
+        snapshot_rngs = bool(fmask) and self._has_random
+        strict = self.strict
+        for _ in range(cycles):
+            v0 = len(self.violations)
+            if fmask:
+                old0 = self._bvals0[:]
+                old1 = self._bvals1[:]
+                if snapshot_rngs:
+                    rng_saves = [
+                        (k, self._lane_rngs[k].getstate())
+                        for k in range(self.lanes)
+                        if (fmask >> k) & 1
+                    ]
+            # Strict raising is deferred: a phantom conflict on a frozen
+            # lane must not abort an active lane's step.
+            self.strict = False
+            try:
+                self.evaluate()
+            finally:
+                self.strict = strict
+            new = self.violations[v0:]
+            if fmask:
+                kept = [
+                    v for v in new
+                    if v.lane is None or (amask >> v.lane) & 1
+                ]
+                if len(kept) != len(new):
+                    del self.violations[v0:]
+                    self.violations.extend(kept)
+                    if self._metrics_on:
+                        self.metrics.violations -= len(new) - len(kept)
+                new = kept
+                b0 = self._bvals0
+                b1 = self._bvals1
+                for i in range(len(b0)):
+                    b0[i] = (old0[i] & fmask) | (b0[i] & amask)
+                    b1[i] = (old1[i] & fmask) | (b1[i] & amask)
+                if snapshot_rngs:
+                    for k, state in rng_saves:
+                        self._lane_rngs[k].setstate(state)
+            fresh.extend(new)
+            self._latch_lanes(amask)
+            self.cycle += 1
+        self._values_stale = True
+        if strict and fresh:
+            v = fresh[0]
+            raise SimulationError(
+                f"multiple (0,1,UNDEF) assignments to signal "
+                f"{v.net!r} in cycle {v.cycle} (lane {v.lane}) "
+                "(this would burn transistors)",
+            )
+        return fresh
+
+    def _latch_lanes(self, amask: int) -> None:
+        """The batched latch rule restricted to the lanes of *amask*."""
+        if self._cg_np_ran:  # pragma: no cover - numpy is demoted above
+            self._latch_codegen_numpy()
+            return
+        mon = self._metrics_on
+        b0 = self._bvals0
+        b1 = self._bvals1
+        r0 = self._breg0
+        r1 = self._breg1
+        for ri, di in enumerate(self._reg_d):
+            d0 = b0[di] & amask
+            d1 = b1[di] & amask
+            driving = d0 | d1
+            if not driving:
+                continue
+            keep = ~driving
+            r0[ri] = (r0[ri] & keep) | d0
+            r1[ri] = (r1[ri] & keep) | d1
+            if mon:
+                self.metrics.latches += driving.bit_count()
 
     def peek(self, path: str) -> list[Logic]:
         """Read current values (boolean signals convert NOINFL to UNDEF).

@@ -13,6 +13,7 @@ from .errors import (
     SimulationError,
     TypeError_,
     ZeusError,
+    error_payload,
 )
 from .lexer import Lexer, tokenize
 from .parser import Parser, parse, parse_expression
@@ -41,6 +42,7 @@ __all__ = [
     "TokenKind",
     "TypeError_",
     "ZeusError",
+    "error_payload",
     "parse",
     "parse_expression",
     "tokenize",

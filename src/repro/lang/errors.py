@@ -87,6 +87,51 @@ class LayoutError(ZeusError):
     virtual signal, unknown direction of separation, etc."""
 
 
+#: ZeusError subclass -> the compiler phase it belongs to, for
+#: structured error payloads.
+_ERROR_PHASES = {
+    "LexError": "lex",
+    "ParseError": "parse",
+    "TypeError_": "type",
+    "ElaborationError": "elaborate",
+    "CheckError": "check",
+    "SimulationError": "simulate",
+    "LayoutError": "layout",
+}
+
+
+def error_payload(
+    exc: ZeusError, source: SourceText | None = None
+) -> dict:
+    """Render a :class:`ZeusError` as the ``zeus.error/1`` JSON shape.
+
+    One renderer serves every consumer of structured failures: the CLI's
+    ``--format json`` subcommands print it on a parse/elaboration error,
+    and ``zeusd`` returns it as the body of 4xx responses.  *source*
+    (when the failing text is at hand) adds 1-based line/column
+    positions next to the raw span offsets.
+    """
+    payload: dict = {
+        "schema": "zeus.error/1",
+        "phase": _ERROR_PHASES.get(type(exc).__name__, "error"),
+        "type": type(exc).__name__,
+        "message": exc.message,
+        "span": None,
+        "position": None,
+    }
+    span = getattr(exc, "span", NO_SPAN)
+    if span is not NO_SPAN and span is not None:
+        payload["span"] = {"start": span.start, "end": span.end}
+        if source is not None:
+            pos = source.position(span.start)
+            payload["position"] = {
+                "file": source.name,
+                "line": pos.line,
+                "column": pos.column,
+            }
+    return payload
+
+
 @dataclass
 class DiagnosticSink:
     """Collects diagnostics across a compilation.

@@ -33,6 +33,7 @@ from .export import (
     SCHEMA,
     TRACE_SCHEMA,
     metrics_report,
+    service_metrics_report,
     trace_report,
     validate_report,
     validate_trace_report,
@@ -66,6 +67,7 @@ __all__ = [
     "current_registry",
     "explain",
     "metrics_report",
+    "service_metrics_report",
     "span",
     "trace_report",
     "use_registry",

@@ -46,8 +46,23 @@ A report is a plain JSON object:
         "solver": {"sat_calls", "decisions", "nodes",
                    "budget_exhausted"}
       },
-      "wall": {"elapsed_s", "cycles_per_s"}   # omitted without timing
+      "wall": {"elapsed_s", "cycles_per_s"},  # omitted without timing
+      "service": {                      # zeusd only (see repro.service)
+        "uptime_s",
+        "requests": {"total", "errors", "shed",
+                     "by_endpoint": {endpoint: count}},
+        "cache":    {"entries", "capacity", "hits", "misses",
+                     "evictions", "hit_rate"},
+        "pool":     {"workers", "queue_depth", "max_queue", "active",
+                     "submitted", "completed", "timeouts", "shed"},
+        "sessions": {"open",
+                     "muxes": [{"design", "lanes", "occupied"}, ...]}
+      }
     }
+
+A service report (from ``zeusd``'s ``GET /v1/metrics``) describes the
+daemon rather than one design, so ``design`` is optional exactly when
+``service`` is present; :func:`service_metrics_report` builds one.
 
 :func:`validate_report` is the schema's executable definition — the
 docs, the tests and the CLI all go through it.
@@ -191,6 +206,23 @@ def metrics_report(
     return report
 
 
+def service_metrics_report(
+    service: dict, registry: SpanRegistry | None = None
+) -> dict:
+    """Assemble a ``zeus.metrics/1`` report describing a running
+    ``zeusd`` daemon (the *service* section comes from
+    :meth:`repro.service.server.ZeusDaemon.stats`); *registry* adds the
+    daemon's recent request spans as a ``compile`` section."""
+    report: dict = {"schema": SCHEMA, "service": service}
+    if registry is not None and registry.spans:
+        report["compile"] = {
+            "phases": registry.phase_totals(),
+            "self_phases": registry.self_times(),
+            "spans": registry.to_dicts(),
+        }
+    return report
+
+
 def write_metrics(path: str, report: dict) -> None:
     """Validate and write a report as JSON."""
     validate_report(report)
@@ -220,10 +252,40 @@ def validate_report(report: dict) -> None:
             f"metrics report: schema must be {SCHEMA!r}, "
             f"got {report.get('schema')!r}"
         )
-    design = need(report, "design", dict, "report")
-    need(design, "name", str, "design")
-    for key in ("nets", "gates", "connections", "registers"):
-        need(design, key, int, "design")
+    if "design" in report or "service" not in report:
+        design = need(report, "design", dict, "report")
+        need(design, "name", str, "design")
+        for key in ("nets", "gates", "connections", "registers"):
+            need(design, key, int, "design")
+
+    if "service" in report:
+        service = need(report, "service", dict, "report")
+        need(service, "uptime_s", (int, float), "service")
+        requests = need(service, "requests", dict, "service")
+        for key in ("total", "errors", "shed"):
+            need(requests, key, int, "service.requests")
+        by_endpoint = need(requests, "by_endpoint", dict,
+                           "service.requests")
+        for ep, count in by_endpoint.items():
+            if not isinstance(count, int):
+                raise ValueError(
+                    f"metrics report: service.requests.by_endpoint"
+                    f"[{ep!r}] must be int"
+                )
+        cache = need(service, "cache", dict, "service")
+        for key in ("entries", "capacity", "hits", "misses", "evictions"):
+            need(cache, key, int, "service.cache")
+        need(cache, "hit_rate", (int, float), "service.cache")
+        pool = need(service, "pool", dict, "service")
+        for key in ("workers", "queue_depth", "max_queue", "active",
+                    "submitted", "completed", "timeouts", "shed"):
+            need(pool, key, int, "service.pool")
+        sessions = need(service, "sessions", dict, "service")
+        need(sessions, "open", int, "service.sessions")
+        for mux in need(sessions, "muxes", list, "service.sessions"):
+            need(mux, "design", str, "service.sessions.muxes[]")
+            need(mux, "lanes", int, "service.sessions.muxes[]")
+            need(mux, "occupied", int, "service.sessions.muxes[]")
 
     if "compile" in report:
         comp = need(report, "compile", dict, "report")

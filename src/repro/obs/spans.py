@@ -66,15 +66,32 @@ class SpanRegistry:
     """A process-wide collector of :class:`Span` records.
 
     ``maxlen`` bounds memory; the oldest spans are dropped first.  The
-    registry is intentionally simple (no thread-local stacks): the
-    compile pipeline is synchronous, and concurrent compiles should use
-    private registries via :meth:`scoped`.
+    registry is safe to *share* between threads: the open-span stack
+    that computes nesting paths is context-local (each thread or asyncio
+    context nests independently) and the record deque's appends are
+    atomic, so concurrent compiles recording into one registry never
+    corrupt each other's paths.  They do interleave in ``spans`` —
+    callers that want one compile's spans in isolation should still pass
+    a private registry (``compile_text(..., registry=...)``).
     """
 
     def __init__(self, maxlen: int = 10_000):
         self.enabled = True
         self.spans: deque[Span] = deque(maxlen=maxlen)
-        self._stack: list[Span] = []
+        # One open-span stack per (context, registry): a fresh thread
+        # starts with an empty context, so its first span sees depth 0
+        # regardless of what other threads are mid-compile on.
+        self._stack_var: contextvars.ContextVar[list[Span] | None] = (
+            contextvars.ContextVar("zeus_span_stack", default=None)
+        )
+
+    @property
+    def _stack(self) -> list[Span]:
+        st = self._stack_var.get()
+        if st is None:
+            st = []
+            self._stack_var.set(st)
+        return st
 
     # -- recording ---------------------------------------------------------
 

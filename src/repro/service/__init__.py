@@ -1,0 +1,47 @@
+"""repro.service -- ``zeusd``, the Zeus compile-and-simulate daemon.
+
+The paper's toolchain is a single-user batch compiler; this package
+grows it into shared infrastructure that serves many concurrent users
+over HTTP JSON APIs (``zeusc serve``).  Three load-bearing pieces:
+
+* :mod:`repro.service.cache` -- the content-hash compile cache: identical
+  source text never re-lexes/parses/elaborates; a cache entry holds the
+  elaborated design *and* the levelized schedule, shared read-only by
+  every simulator spawned from it;
+* :mod:`repro.service.pool` -- the process-pool shard layer for SAT
+  obligations (prove / timing) and long scalar sims, with per-request
+  timeouts and a bounded queue that sheds load with 503 + Retry-After
+  instead of piling up;
+* :mod:`repro.service.sessions` -- the session multiplexer: independent
+  user sim sessions are mapped onto *lanes* of one shared batched
+  simulator per design hash, so N users of one design cost one
+  levelized pass per cycle instead of N (the batched engine's
+  lane-isolation contract makes each lane bit-identical to a private
+  scalar run).
+
+:mod:`repro.service.server` is the asyncio daemon itself (stdlib
+``asyncio`` streams; no ``http.server``), and
+:mod:`repro.service.client` a small blocking client used by the tests,
+the CI smoke job and ``benchmarks/bench_service.py``.
+"""
+
+from .cache import CacheEntry, CompileCache, cache_key
+from .client import ZeusClient, serve_in_thread
+from .pool import PoolSaturated, PoolTimeout, ShardPool
+from .server import ZeusDaemon
+from .sessions import LaneMux, SessionError, SimSession
+
+__all__ = [
+    "CacheEntry",
+    "CompileCache",
+    "LaneMux",
+    "PoolSaturated",
+    "PoolTimeout",
+    "SessionError",
+    "ShardPool",
+    "SimSession",
+    "ZeusClient",
+    "ZeusDaemon",
+    "cache_key",
+    "serve_in_thread",
+]

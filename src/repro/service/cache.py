@@ -1,0 +1,155 @@
+"""The content-hash compile cache.
+
+A request's design is identified by the SHA-256 of everything that can
+change the compile's outcome: the front-end version (a new compiler
+release must never serve stale graphs), the strictness mode, the
+requested top-level signal, and the source text itself.  Two requests
+with the same key get the same :class:`CacheEntry` -- the elaborated
+:class:`~repro.Circuit` plus, once any simulator has been built from it,
+the levelized :class:`~repro.core.schedule.Schedule`.  Both are
+immutable after construction (the design graph is never mutated by
+simulation; the schedule is a frozen compilation of it), so entries are
+shared read-only across threads and requests without copying.
+
+Entries are evicted least-recently-used once ``capacity`` is reached.
+All cache operations take one small lock; compilation itself runs
+outside it (two racing misses on one key compile twice and the second
+insert wins -- wasted work, never wrong results).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+
+from .. import Circuit, __version__, compile_text
+from ..core.simulator import Simulator
+
+#: Version fragment of the cache key: bump __version__ and every key
+#: changes, so a new front-end never serves graphs elaborated by an
+#: old one.
+FRONTEND_VERSION = __version__
+
+
+def cache_key(
+    source: str, top: str | None = None, strict: bool = True
+) -> str:
+    """The content hash identifying one compile's full input."""
+    h = hashlib.sha256()
+    for part in (FRONTEND_VERSION, top or "", "1" if strict else "0"):
+        h.update(part.encode("utf-8"))
+        h.update(b"\0")
+    h.update(source.encode("utf-8"))
+    return h.hexdigest()
+
+
+class CacheEntry:
+    """One cached compile: the circuit, its key, and (lazily) the
+    levelized schedule shared by every simulator over the design."""
+
+    __slots__ = ("key", "circuit", "compile_s", "_schedule", "_lock")
+
+    def __init__(self, key: str, circuit: Circuit, compile_s: float):
+        self.key = key
+        self.circuit = circuit
+        self.compile_s = compile_s
+        self._schedule = None
+        self._lock = threading.Lock()
+
+    def simulator(self, **kwargs) -> Simulator:
+        """A fresh simulator over the cached design, reusing the cached
+        schedule (and capturing it from the first construction): repeat
+        simulations of a cached design skip the levelizing pass too."""
+        sim = Simulator(
+            self.circuit.design, schedule=self._schedule, **kwargs
+        )
+        if self._schedule is None and sim._schedule is not None:
+            with self._lock:
+                if self._schedule is None:
+                    self._schedule = sim._schedule
+        return sim
+
+
+class CompileCache:
+    """A bounded, thread-safe, LRU content-hash cache of compiles."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: str) -> CacheEntry | None:
+        """The entry for *key*, freshened to most-recently-used."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def insert(self, entry: CacheEntry) -> CacheEntry:
+        """Insert (or re-insert) an entry, evicting the LRU past
+        capacity.  On a racing double-compile the existing entry wins
+        (its schedule may already be captured)."""
+        with self._lock:
+            existing = self._entries.get(entry.key)
+            if existing is not None:
+                self._entries.move_to_end(entry.key)
+                return existing
+            self._entries[entry.key] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return entry
+
+    def get_or_compile(
+        self,
+        source: str,
+        top: str | None = None,
+        *,
+        strict: bool = True,
+        name: str = "<service>",
+        registry=None,
+    ) -> tuple[CacheEntry, bool]:
+        """The service's compile front door: ``(entry, was_hit)``.
+
+        Compilation errors propagate to the caller (and are *not*
+        cached: a transient failure should not poison the key)."""
+        key = cache_key(source, top, strict)
+        entry = self.lookup(key)
+        if entry is not None:
+            return entry, True
+        t0 = time.perf_counter()
+        circuit = compile_text(
+            source, top, name=name, strict=strict, registry=registry
+        )
+        entry = CacheEntry(key, circuit, time.perf_counter() - t0)
+        return self.insert(entry), False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }

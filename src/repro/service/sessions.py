@@ -1,0 +1,200 @@
+"""The session multiplexer: user sim sessions as lanes of one shared
+batched simulator.
+
+The batched engine's lane-isolation contract (every lane behaves
+exactly like a private scalar run with that lane's seed) means N users
+simulating the *same* design do not need N simulators: a
+:class:`LaneMux` owns one batched/codegen simulator per design and
+leases lanes to :class:`SimSession` objects as they attach.  Stepping
+happens through :meth:`Simulator.step_lanes`, which advances only the
+lanes that asked to move -- sessions at different cycle counts coexist
+on one plane set, and sessions that step *together* in one call share a
+single bit-parallel pass (the aggregate-throughput win the service
+banks on).
+
+Sessions re-map the shared simulator's observations into their own
+frame: cycle numbers are the session's private count (the underlying
+``sim.cycle`` advances whenever *any* lane steps), and violations are
+re-stamped accordingly with ``lane=None`` -- from the user's point of
+view they own a whole scalar simulator.
+
+The mux itself is not thread-safe; ``zeusd`` serializes access per mux
+with an asyncio lock (see :mod:`repro.service.server`).  It *is* safe
+to run different muxes on different threads.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.simulator import Simulator, Violation
+from ..lang.errors import SimulationError
+
+if TYPE_CHECKING:
+    from .. import Circuit
+
+
+class SessionError(SimulationError):
+    """A session-protocol error: no free lane, detached handle, etc."""
+
+
+class SimSession:
+    """One leased lane, presented as a private simulator."""
+
+    __slots__ = ("mux", "lane", "seed", "cycle", "violations", "_open")
+
+    def __init__(self, mux: "LaneMux", lane: int, seed: int):
+        self.mux = mux
+        self.lane = lane
+        self.seed = seed
+        self.cycle = 0
+        self.violations: list[Violation] = []
+        self._open = True
+
+    def _check_open(self) -> None:
+        if not self._open:
+            raise SessionError("session is detached")
+
+    def poke(self, path: str, value) -> None:
+        self._check_open()
+        self.mux.sim.poke_lane(path, self.lane, value)
+
+    def unpoke(self, path: str) -> None:
+        self._check_open()
+        self.mux.sim.unpoke_lane(path, self.lane)
+
+    def peek(self, path: str):
+        self._check_open()
+        return self.mux.sim.peek_lane(path, self.lane)
+
+    def peek_int(self, path: str) -> int | None:
+        self._check_open()
+        return self.mux.sim.peek_lane_int(path, self.lane)
+
+    def registers(self) -> dict:
+        self._check_open()
+        return self.mux.sim.registers(lane=self.lane)
+
+    def step(self, cycles: int = 1) -> list[Violation]:
+        """Advance this session alone (other sessions stay frozen).
+        Concurrent steppers should batch through
+        :meth:`LaneMux.step_many` instead to share passes."""
+        self._check_open()
+        return self.mux.step_many({self: cycles})
+
+    def detach(self) -> None:
+        self.mux.detach(self)
+
+
+class LaneMux:
+    """One shared batched simulator, its lanes leased to sessions."""
+
+    def __init__(
+        self,
+        circuit: "Circuit",
+        *,
+        lanes: int = 16,
+        engine: str = "batched",
+        schedule=None,
+        cache_entry=None,
+    ):
+        if cache_entry is not None:
+            self.sim = cache_entry.simulator(
+                strict=False, engine=engine, lanes=lanes
+            )
+        else:
+            self.sim = Simulator(
+                circuit.design,
+                strict=False,
+                engine=engine,
+                lanes=lanes,
+                schedule=schedule,
+            )
+        self.circuit = circuit
+        self.lanes = lanes
+        self._free = list(range(lanes - 1, -1, -1))  # lease lane 0 first
+        self._by_lane: dict[int, SimSession] = {}
+
+    # -- leasing ---------------------------------------------------------
+
+    @property
+    def occupied(self) -> int:
+        return len(self._by_lane)
+
+    @property
+    def sessions(self) -> list[SimSession]:
+        return list(self._by_lane.values())
+
+    def attach(self, seed: int = 0) -> SimSession:
+        """Lease a fresh lane seeded like a private scalar run with
+        *seed*; raises :class:`SessionError` when the mux is full."""
+        if not self._free:
+            raise SessionError(
+                f"no free lane (all {self.lanes} lanes are leased)"
+            )
+        lane = self._free.pop()
+        self.sim.reset_lane(lane, seed=seed)
+        session = SimSession(self, lane, seed)
+        self._by_lane[lane] = session
+        return session
+
+    def detach(self, session: SimSession) -> None:
+        """Release a session's lane (idempotent).  The lane is scrubbed
+        on release -- a mid-run detach leaves its neighbors' planes,
+        registers and rng streams untouched, because nothing but the
+        lane's own bits is written."""
+        if not session._open:
+            return
+        session._open = False
+        del self._by_lane[session.lane]
+        # Scrub pokes/planes now so a poisoned lane never leaks into
+        # the next lease even if that lease forgets to reset.
+        self.sim.reset_lane(session.lane)
+        self._free.append(session.lane)
+
+    # -- stepping --------------------------------------------------------
+
+    def step_many(
+        self, want: "dict[SimSession, int]"
+    ) -> list[Violation]:
+        """Advance each session by its requested cycle count, sharing
+        bit-parallel passes: one pass per round moves every session
+        that still has cycles to run.  Returns the new violations
+        (already re-stamped into session frames, in step order); they
+        are also appended to each session's ``violations``."""
+        remaining: dict[int, int] = {}
+        for session, cycles in want.items():
+            session._check_open()
+            if session.mux is not self:
+                raise SessionError("session belongs to a different mux")
+            if cycles > 0:
+                remaining[session.lane] = cycles
+        out: list[Violation] = []
+        while remaining:
+            mask = 0
+            for lane in remaining:
+                mask |= 1 << lane
+            fresh = self.sim.step_lanes(mask, 1)
+            for v in fresh:
+                session = self._by_lane[v.lane]
+                stamped = Violation(
+                    session.cycle, v.net, list(v.values), lane=None
+                )
+                session.violations.append(stamped)
+                out.append(stamped)
+            done = []
+            for lane in remaining:
+                self._by_lane[lane].cycle += 1
+                remaining[lane] -= 1
+                if remaining[lane] == 0:
+                    done.append(lane)
+            for lane in done:
+                del remaining[lane]
+        return out
+
+    def step_all(self, cycles: int = 1) -> list[Violation]:
+        """Advance every attached session *cycles* cycles in lockstep
+        (the cheapest shape: every pass moves every session)."""
+        return self.step_many(
+            {s: cycles for s in self._by_lane.values()}
+        )
