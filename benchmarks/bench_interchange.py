@@ -1,0 +1,123 @@
+"""Verilog interchange benchmark: emit/import throughput.
+
+Measures, per stdlib workload, the structural-Verilog emit rate and
+the read-back (parse + netlist rebuild) rate, and scales the reader
+over generated ISCAS-style netlists of growing size (gates/sec).  A
+round-trip co-simulation of each workload runs once first, so the
+benchmark never times a wrong translation.
+
+Results are merged into the repo-root ``BENCH_simulator.json`` under an
+``interchange`` key.  Used by hand to refresh the committed numbers and
+by ``scripts/bench_check.py`` in CI::
+
+    PYTHONPATH=src python benchmarks/bench_interchange.py \
+        --repeat 3 --out BENCH_simulator.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import repro
+from repro.analysis.roundtrip import cosimulate, round_trip
+from repro.interchange import emit_verilog, generate_iscas, read_verilog
+from repro.stdlib import programs
+
+from bench_batched import merge_into_summary
+
+WORKLOADS = ("mux4", "adders", "blackjack", "section8")
+ISCAS_SIZES = (64, 256, 1024)
+
+
+def measure(circuit, repeat):
+    """Emit and import rates for one compiled design, correctness
+    checked by one co-simulated round trip first."""
+    rt = round_trip(circuit.design)
+    res = cosimulate(rt, cycles=2, n_vectors=4)
+    if not res.ok:
+        raise RuntimeError(
+            f"not benchmarking a wrong translation: {res.detail}")
+    t0 = time.perf_counter()
+    for _ in range(repeat):
+        text, _ = emit_verilog(circuit.design)
+    emit_elapsed = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(repeat):
+        read_verilog(text)
+    import_elapsed = time.perf_counter() - t0
+    return {
+        "verilog_lines": len(text.splitlines()),
+        "emit_per_s": repeat / emit_elapsed if emit_elapsed else 0.0,
+        "import_per_s": repeat / import_elapsed if import_elapsed else 0.0,
+    }
+
+
+def measure_iscas(n_gates, repeat):
+    """Reader throughput in gates/sec on a generated netlist."""
+    text = generate_iscas(0, n_inputs=8, n_gates=n_gates, n_regs=4)
+    design = read_verilog(text)  # warm + shape check
+    gates = design.netlist.stats()["gates"]
+    t0 = time.perf_counter()
+    for _ in range(repeat):
+        read_verilog(text)
+    elapsed = time.perf_counter() - t0
+    return {
+        "gates": gates,
+        "import_gates_per_s": gates * repeat / elapsed if elapsed else 0.0,
+    }
+
+
+def run_benchmark(repeat=3):
+    results = {"repeat": repeat, "workloads": {}, "iscas": {}}
+    for label in WORKLOADS:
+        circuit = repro.compile_text(
+            programs.ALL_PROGRAMS[label], name=label)
+        entry = measure(circuit, repeat)
+        entry["gates"] = circuit.netlist.stats()["gates"]
+        results["workloads"][label] = entry
+    for n_gates in ISCAS_SIZES:
+        results["iscas"][f"iscas{n_gates}"] = measure_iscas(n_gates, repeat)
+    return results
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repeat", type=int, default=3,
+                    help="emits/imports per workload (default 3)")
+    ap.add_argument("--out", default="BENCH_simulator.json",
+                    help="summary JSON to merge into")
+    args = ap.parse_args(argv)
+
+    results = run_benchmark(repeat=args.repeat)
+    for label, r in results["workloads"].items():
+        print(f"{label:10s} {r['gates']:>5d} gates  "
+              f"{r['verilog_lines']:>5d} lines   "
+              f"{r['emit_per_s']:>8.2f} emits/s   "
+              f"{r['import_per_s']:>8.2f} imports/s")
+    for label, r in results["iscas"].items():
+        print(f"{label:10s} {r['gates']:>5d} gates   "
+              f"{r['import_gates_per_s']:>12,.0f} gates/s imported")
+    summary = merge_into_summary(args.out, results, key="interchange")
+    assert summary["interchange"] == results
+    print(f"wrote {args.out}")
+    return 0
+
+
+# -- tier-1 smoke (bench_*.py files are collected by pytest) ---------------
+
+def test_bench_interchange_summary_shape(tmp_path):
+    out = tmp_path / "BENCH_simulator.json"
+    results = run_benchmark(repeat=1)
+    for label, r in results["workloads"].items():
+        assert r["emit_per_s"] > 0, label
+        assert r["import_per_s"] > 0, label
+        assert r["verilog_lines"] > r["gates"], label
+    sizes = [results["iscas"][f"iscas{n}"]["gates"] for n in ISCAS_SIZES]
+    assert sizes == sorted(sizes) and sizes[0] < sizes[-1]
+    summary = merge_into_summary(str(out), results, key="interchange")
+    assert summary["interchange"]["repeat"] == 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,7 +2,7 @@
 
 Re-runs the benchmark drivers (``benchmarks/bench_engines.py``,
 ``bench_batched.py``, ``bench_codegen.py``, ``bench_flight.py``,
-``bench_timing.py``, ``bench_service.py``) and
+``bench_timing.py``, ``bench_interchange.py``, ``bench_service.py``) and
 compares the fresh cycles/sec against the committed
 ``BENCH_simulator.json`` with a
 tolerance band: a metric that lands more than ``--tolerance`` (default
@@ -37,6 +37,7 @@ import bench_batched  # noqa: E402
 import bench_codegen  # noqa: E402
 import bench_engines  # noqa: E402
 import bench_flight  # noqa: E402
+import bench_interchange  # noqa: E402
 import bench_service  # noqa: E402
 import bench_timing  # noqa: E402
 
@@ -66,6 +67,14 @@ def committed_metrics(summary: dict) -> dict[str, float]:
             rates = flight.get(engine, {}).get("cycles_per_s", {})
             for mode, rate in rates.items():
                 out[f"flight.{engine}.cycles_per_s.{mode}"] = rate
+    interchange = summary.get("interchange")
+    if interchange:
+        for label, entry in interchange.get("workloads", {}).items():
+            out[f"interchange.{label}.emit_per_s"] = entry["emit_per_s"]
+            out[f"interchange.{label}.import_per_s"] = entry["import_per_s"]
+        for label, entry in interchange.get("iscas", {}).items():
+            out[f"interchange.{label}.import_gates_per_s"] = (
+                entry["import_gates_per_s"])
     timing = summary.get("timing")
     if timing:
         for label, entry in timing.get("workloads", {}).items():
@@ -98,6 +107,7 @@ def fresh_summary(cycles: int, seed: int = 0) -> dict:
     )
     summary["flight"] = bench_flight.run_benchmark(cycles, seed=seed)
     summary["timing"] = bench_timing.run_benchmark(repeat=1)
+    summary["interchange"] = bench_interchange.run_benchmark(repeat=1)
     summary["service"] = bench_service.run_benchmark(
         requests=4, cycles=max(cycles // 20, 5)
     )

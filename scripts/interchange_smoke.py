@@ -1,0 +1,101 @@
+"""CI smoke for the Verilog interchange.
+
+Round-trips the whole stdlib corpus -- emit structural Verilog, write
+the ``zeus.interchange/1`` artifacts (``<name>.v`` +
+``<name>.manifest.json``), import the text back, and co-simulate the
+round-tripped circuit against the original lane by lane.  Also imports
+the bundled c17 netlist and a few generated ISCAS-style scenarios.
+
+When ``iverilog`` is on PATH, every emitted file is additionally
+compile-checked with it (a skipped step, not a failure, when absent --
+CI images differ).
+
+Usage::
+
+    PYTHONPATH=src python scripts/interchange_smoke.py --out interchange-out
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                 "src"),
+)
+
+import repro  # noqa: E402
+from repro.analysis.roundtrip import cosimulate, round_trip, stdlib_corpus  # noqa: E402
+from repro.interchange import (  # noqa: E402
+    C17_VERILOG,
+    generate_iscas,
+    read_verilog,
+    validate_manifest,
+)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default="interchange-out",
+                    help="artifact directory (default interchange-out)")
+    ap.add_argument("--cycles", type=int, default=3)
+    ap.add_argument("--vectors", type=int, default=4)
+    args = ap.parse_args(argv)
+
+    os.makedirs(args.out, exist_ok=True)
+    failures = 0
+    emitted = []
+    for name, text in stdlib_corpus():
+        circuit = repro.compile_text(text, name=name, strict=False)
+        rt = round_trip(circuit.design)
+        validate_manifest(rt.manifest)
+        vpath = os.path.join(args.out, f"{name}.v")
+        with open(vpath, "w", encoding="utf-8") as f:
+            f.write(rt.verilog)
+        with open(os.path.join(args.out, f"{name}.manifest.json"),
+                  "w", encoding="utf-8") as f:
+            json.dump(rt.manifest, f, indent=2, sort_keys=True)
+            f.write("\n")
+        emitted.append(vpath)
+        res = cosimulate(rt, cycles=args.cycles, n_vectors=args.vectors)
+        status = "ok" if res.ok else f"FAIL: {res.detail}"
+        failures += not res.ok
+        stats = rt.imported.netlist.stats()
+        print(f"{name:14s} {stats['gates']:>5d} gates  "
+              f"{stats['registers']:>3d} regs  round-trip {status}")
+
+    for label, text in [("c17", C17_VERILOG)] + [
+        (f"iscas-s{seed}", generate_iscas(seed, n_regs=seed % 3))
+        for seed in range(4)
+    ]:
+        design = read_verilog(text, name=f"{label}.v")
+        sim = repro.Simulator(design, strict=False)
+        sim.step(2)
+        print(f"{label:14s} imported and simulated "
+              f"({design.netlist.stats()['gates']} gates)")
+
+    iverilog = shutil.which("iverilog")
+    if iverilog is None:
+        print("iverilog not found: compile-check skipped (not a failure)")
+    else:
+        for vpath in emitted:
+            proc = subprocess.run(
+                [iverilog, "-o", os.devnull, vpath],
+                capture_output=True, text=True)
+            if proc.returncode != 0:
+                print(f"iverilog FAILED on {vpath}:\n{proc.stderr}")
+                failures += 1
+        print(f"iverilog compile-checked {len(emitted)} file(s)")
+
+    print(f"{failures} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -306,6 +306,7 @@ def differential_check(
     seed: int = 0,
     vectors: list[dict] | None = None,
     name: str = "fuzz",
+    roundtrip: bool = True,
 ) -> DifferentialResult:
     """Run one program on dataflow (oracle), levelized ("auto"),
     batched and codegen, over *n_vectors* random constant stimuli held
@@ -316,6 +317,13 @@ def differential_check(
     vector k, seed ``0 + k``); the scalar runs use seed ``k`` so the
     per-lane rng contract lines up.  Returns a falsy result carrying a
     human-readable mismatch description on the first disagreement.
+
+    With *roundtrip* (the default) a fifth leg exports the design to
+    structural Verilog, imports it back
+    (:mod:`repro.analysis.roundtrip`), and co-simulates the
+    round-tripped circuit against the original with the same vectors;
+    the engines legs anchor the original to the dataflow oracle, so the
+    chain pins the round-trip to the oracle too.
     """
     import repro
 
@@ -358,6 +366,21 @@ def differential_check(
                     f"{engine} lane {k} vs dataflow: vector {vec}: "
                     f"{_diff_detail(oracle[k], got, outs)}",
                 )
+    if roundtrip:
+        from .roundtrip import Logic, cosimulate, round_trip
+
+        rt_vectors = [
+            {pname: [Logic(v)] for pname, v in vec.items()}
+            for vec in vectors
+        ]
+        try:
+            rt = round_trip(circuit.design)
+        except Exception as exc:
+            return DifferentialResult(
+                False, f"round-trip export/import failed: {exc}")
+        got = cosimulate(rt, cycles=cycles, seed=seed, vectors=rt_vectors)
+        if not got.ok:
+            return got
     return DifferentialResult(True)
 
 

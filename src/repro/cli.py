@@ -33,6 +33,12 @@ Subcommands:
   over matched interfaces (PROVED-EQUIVALENT / COUNTEREXAMPLE /
   UNKNOWN), optionally cross-checked by random co-simulation;
 * ``dot FILE``       -- export the semantics graph as Graphviz DOT;
+* ``emit-verilog FILE`` -- export the elaborated design as structural
+  Verilog (gate primitives + ``zeus_dff`` register idiom) with a
+  ``zeus.interchange/1`` manifest carrying the name maps;
+* ``import-verilog FILE`` -- read a structural-Verilog netlist
+  (including ISCAS85/89-style files) back into a Zeus semantics graph
+  and report its shape;
 * ``examples``       -- list the bundled paper programs (usable with
   ``--builtin NAME`` instead of FILE everywhere).
 
@@ -383,6 +389,36 @@ def main(argv: list[str] | None = None) -> int:
                    help="hide elaborator-synthesized helper nets")
 
     p = sub.add_parser(
+        "emit-verilog",
+        help="export the design as structural Verilog + "
+             "zeus.interchange/1 manifest",
+    )
+    _add_common(p)
+    p.add_argument("-o", "--output", metavar="FILE",
+                   help="write the Verilog to FILE instead of stdout")
+    p.add_argument("--manifest", metavar="FILE",
+                   help="write the zeus.interchange/1 manifest JSON to FILE")
+    p.add_argument("--module", metavar="NAME",
+                   help="emitted module name (default: <design>_mod)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="text prints the Verilog; json prints one object "
+                        "with both the Verilog and the manifest")
+
+    p = sub.add_parser(
+        "import-verilog",
+        help="read a structural-Verilog netlist into a Zeus "
+             "semantics graph",
+    )
+    p.add_argument("file", help="Verilog source file")
+    p.add_argument("--top", metavar="MODULE",
+                   help="top module (default: the uninstantiated one)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="text prints a shape summary; json prints the "
+                        "identity zeus.interchange/1 manifest")
+    p.add_argument("-o", "--output", metavar="FILE",
+                   help="write the report to FILE instead of stdout")
+
+    p = sub.add_parser(
         "serve",
         help="zeusd: serve compile/lint/sim/prove/timing over HTTP "
              "(content-hash compile cache, process-pool SAT shards, "
@@ -448,6 +484,8 @@ def main(argv: list[str] | None = None) -> int:
 def _dispatch(args: argparse.Namespace, registry) -> int:
     if args.cmd == "equiv":
         return _equiv(args, registry)
+    if args.cmd == "import-verilog":
+        return _import_verilog(args)
 
     try:
         circuit = _load(args)
@@ -527,6 +565,9 @@ def _dispatch(args: argparse.Namespace, registry) -> int:
         else:
             print(text, end="")
         return 0
+
+    if args.cmd == "emit-verilog":
+        return _emit_verilog(args, circuit)
 
     if args.cmd == "timing":
         return _timing(args, circuit, registry)
@@ -707,6 +748,91 @@ def _sim(args: argparse.Namespace, circuit: Circuit, registry) -> int:
             metrics_report(circuit, sim, registry, elapsed=elapsed),
         )
         print(f"wrote {args.metrics}")
+    return 0
+
+
+def _write_or_print(text: str, output: str | None) -> None:
+    if output:
+        with open(output, "w", encoding="utf-8") as f:
+            f.write(text)
+        print(f"wrote {output}")
+    else:
+        print(text, end="")
+
+
+def _emit_verilog(args: argparse.Namespace, circuit: Circuit) -> int:
+    """The ``zeusc emit-verilog`` body: walk the elaborated netlist,
+    write structural Verilog and the zeus.interchange/1 manifest.  An
+    unencodable design shape (see :mod:`repro.interchange.emit`) is an
+    error under the exit contract (2)."""
+    import json
+
+    from .interchange import emit_verilog
+
+    try:
+        text, manifest = emit_verilog(
+            circuit.design, module_name=args.module)
+    except ZeusError as exc:
+        if circuit.design.source is not None:
+            exc.source_text = circuit.design.source.text
+            exc.source_name = circuit.design.source.name
+        return _report_error(args, exc)
+    if args.format == "json":
+        _write_or_print(
+            json.dumps({"verilog": text, "manifest": manifest},
+                       indent=2, sort_keys=True) + "\n",
+            args.output,
+        )
+    else:
+        _write_or_print(text, args.output)
+    if args.manifest:
+        with open(args.manifest, "w", encoding="utf-8") as f:
+            json.dump(manifest, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.manifest}")
+    return 0
+
+
+def _import_verilog(args: argparse.Namespace) -> int:
+    """The ``zeusc import-verilog`` body: parse the structural subset,
+    rebuild the semantics graph, report its shape.  Unsupported
+    constructs, dangling instance ports and duplicate modules exit 2
+    with a ``zeus.error/1`` payload (``--format json``) naming the
+    source line."""
+    import json
+
+    from .interchange import import_manifest, read_verilog
+
+    with open(args.file, "r", encoding="utf-8") as f:
+        text = f.read()
+    try:
+        design = read_verilog(text, name=args.file, top=args.top)
+    except ZeusError as exc:
+        exc.source_text = text
+        exc.source_name = args.file
+        return _report_error(args, exc)
+    if args.format == "json":
+        _write_or_print(
+            json.dumps(import_manifest(design), indent=2, sort_keys=True)
+            + "\n",
+            args.output,
+        )
+        return 0
+    stats = design.netlist.stats()
+    info = design.interchange
+    lines = [
+        f"{design.name}: imported from {args.file}",
+        f"  modules   : {', '.join(info['modules'])} "
+        f"(top {info['top']}, {info['flattened_instances']} "
+        f"flattened instance(s))",
+        f"  intrinsics: {', '.join(info['intrinsics']) or '-'}",
+        f"  netlist   : {stats['nets']} nets, {stats['gates']} gates, "
+        f"{stats['connections']} connections, "
+        f"{stats['registers']} registers",
+    ]
+    for port in design.netlist.ports:
+        lines.append(f"  {port.mode:>5} {port.name} [{len(port.nets)} bits]")
+    _write_or_print("\n".join(lines) + "\n", args.output)
     return 0
 
 

@@ -1,0 +1,38 @@
+"""Structural-Verilog interchange for Zeus designs.
+
+The emitter (:func:`emit_verilog`) walks an elaborated netlist and
+produces a self-contained structural Verilog file plus a versioned
+``zeus.interchange/1`` manifest; the reader (:func:`read_verilog`)
+parses the same subset -- including classic ISCAS85/89-style netlists
+-- back into a semantics graph that simulates on every Zeus engine.
+``analysis/roundtrip.py`` co-simulates both directions differentially;
+``zeusc emit-verilog`` / ``zeusc import-verilog`` expose them on the
+command line.
+"""
+
+from .emit import ZEUS_DFF_MODULE, ZEUS_RANDOM_MODULE, emit_verilog
+from .iscas import C17_VERILOG, c17_oracle, generate as generate_iscas
+from .manifest import SCHEMA, name_map, reverse_name_map, validate_manifest
+from .names import NameMangler, VERILOG_KEYWORDS, is_verilog_identifier, mangle_base
+from .reader import import_manifest, read_verilog
+from .vparse import parse_verilog
+
+__all__ = [
+    "C17_VERILOG",
+    "NameMangler",
+    "SCHEMA",
+    "VERILOG_KEYWORDS",
+    "ZEUS_DFF_MODULE",
+    "ZEUS_RANDOM_MODULE",
+    "c17_oracle",
+    "emit_verilog",
+    "generate_iscas",
+    "import_manifest",
+    "is_verilog_identifier",
+    "mangle_base",
+    "name_map",
+    "parse_verilog",
+    "read_verilog",
+    "reverse_name_map",
+    "validate_manifest",
+]

@@ -1,0 +1,133 @@
+"""ISCAS-style scenario corpus for the interchange tests.
+
+Two sources of structural netlists that never came out of the Zeus
+emitter, exercising the reader as a *front end* rather than a
+round-trip decoder:
+
+* :data:`C17_VERILOG` -- the standard ISCAS85 c17 benchmark (6 NAND2
+  gates, 5 inputs, 2 outputs) in the plain structural Verilog style
+  the classic translations use, plus :func:`c17_oracle`, a pure-Python
+  reference evaluation of the same network;
+* :func:`generate` -- a deterministic, seeded generator of c17-class
+  netlists: random DAGs of NAND/NOR/AND/OR/NOT/buf gates, optionally
+  with a register layer in the ISCAS89 style (positional ``dff``
+  instances).  Same seed, same text -- the scenarios are reproducible
+  in tests and benchmarks without bundling files.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: ISCAS85 c17: the smallest of the classic combinational benchmarks.
+C17_VERILOG = """\
+// ISCAS85 c17 (structural Verilog translation)
+module c17 (N1, N2, N3, N6, N7, N22, N23);
+  input N1, N2, N3, N6, N7;
+  output N22, N23;
+  wire N10, N11, N16, N19;
+
+  nand NAND2_1 (N10, N1, N3);
+  nand NAND2_2 (N11, N3, N6);
+  nand NAND2_3 (N16, N2, N11);
+  nand NAND2_4 (N19, N11, N7);
+  nand NAND2_5 (N22, N10, N16);
+  nand NAND2_6 (N23, N16, N19);
+endmodule
+"""
+
+C17_INPUTS = ("N1", "N2", "N3", "N6", "N7")
+C17_OUTPUTS = ("N22", "N23")
+
+
+def c17_oracle(n1: int, n2: int, n3: int, n6: int, n7: int) -> tuple[int, int]:
+    """Reference two-valued evaluation of c17: ``(N22, N23)``."""
+    nand = lambda a, b: 1 - (a & b)  # noqa: E731
+    n10 = nand(n1, n3)
+    n11 = nand(n3, n6)
+    n16 = nand(n2, n11)
+    n19 = nand(n11, n7)
+    return nand(n10, n16), nand(n16, n19)
+
+
+_GATES = ("nand", "nor", "and", "or", "not", "buf")
+
+
+def generate(
+    seed: int,
+    *,
+    n_inputs: int = 5,
+    n_gates: int = 12,
+    n_regs: int = 0,
+    name: str | None = None,
+) -> str:
+    """A seeded ISCAS-style structural netlist.
+
+    Gates form a DAG over the inputs and earlier gate outputs, so the
+    circuit always settles.  With ``n_regs > 0`` a register layer is
+    appended in the ISCAS89 translation idiom: positional
+    ``dff NAME (CK, Q, D);`` instances fed from gate outputs, with the
+    Q wires folded back in as extra gate-input candidates via a second
+    gate column.  Every wire that nothing consumes is promoted to an
+    output so the whole network is observable.
+    """
+    rng = random.Random(seed)
+    mod = name or f"iscas_s{seed}"
+    inputs = [f"G{i}" for i in range(1, n_inputs + 1)]
+    avail = list(inputs)
+    lines: list[str] = []
+    consumed: set[str] = set()
+    wires: list[str] = []
+    k = n_inputs
+
+    def gate_line(out: str, avail_nets: list[str]) -> str:
+        op = rng.choice(_GATES)
+        arity = 1 if op in ("not", "buf") else rng.randint(2, 3)
+        ins = [rng.choice(avail_nets) for _ in range(arity)]
+        consumed.update(ins)
+        return f"  {op} {op.upper()}_{out} ({out}, {', '.join(ins)});"
+
+    for _ in range(n_gates):
+        k += 1
+        out = f"G{k}"
+        lines.append(gate_line(out, avail))
+        wires.append(out)
+        avail.append(out)
+
+    dff_lines: list[str] = []
+    for r in range(n_regs):
+        k += 1
+        q = f"G{k}"
+        d = rng.choice(avail)
+        consumed.add(d)
+        dff_lines.append(f"  dff DFF_{r} (CK, {q}, {d});")
+        wires.append(q)
+        avail.append(q)
+    if n_regs:
+        # A second combinational column so register outputs feed logic.
+        for _ in range(max(2, n_gates // 3)):
+            k += 1
+            out = f"G{k}"
+            lines.append(gate_line(out, avail))
+            wires.append(out)
+            avail.append(out)
+
+    outputs = [w for w in wires if w not in consumed]
+    if not outputs:  # pragma: no cover - the last gate is never consumed
+        outputs = [wires[-1]]
+    ports = inputs + (["CK"] if n_regs else []) + outputs
+    decl_wires = [w for w in wires if w not in outputs]
+
+    text = [f"// generated ISCAS-style netlist, seed={seed}",
+            f"module {mod} ({', '.join(ports)});"]
+    text.append(f"  input {', '.join(inputs)};")
+    if n_regs:
+        text.append("  input CK;")
+    text.append(f"  output {', '.join(outputs)};")
+    if decl_wires:
+        text.append(f"  wire {', '.join(decl_wires)};")
+    text.append("")
+    text.extend(lines)
+    text.extend(dff_lines)
+    text.append("endmodule")
+    return "\n".join(text) + "\n"

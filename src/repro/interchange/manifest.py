@@ -1,0 +1,87 @@
+"""The versioned ``zeus.interchange/1`` manifest.
+
+Every Verilog emit produces one manifest next to the ``.v`` text.  It
+is the machine-readable contract of the translation:
+
+* ``nets`` -- the complete display-name -> Verilog-identifier map (the
+  "escape map"): every alias class of the source design, with its
+  value kind (``boolean`` or ``multiplex``), so observations
+  (peeks, violations) can be translated in either direction;
+* ``ports`` -- per top-level port: mode and the ordered Verilog bit
+  names (index 0 is the low-order bit, matching ``PortInfo.nets``);
+* ``extra_inputs`` / ``synthetic_clock`` -- inputs that exist outside
+  the declared ports (the CLK/RSET specials; a clock port synthesized
+  because the design has registers but never names CLK);
+* ``regs`` -- register key (as ``Simulator.registers()`` reports it)
+  -> ``zeus_dff`` instance name;
+* ``unsupported`` -- the unsupported-construct report (empty when the
+  whole design was encoded);
+* ``caveats`` -- fixed documented divergences from event-driven
+  Verilog simulation semantics.
+
+The CI smoke job and the round-trip harness both validate manifests
+with :func:`validate_manifest` before trusting them.
+"""
+
+from __future__ import annotations
+
+SCHEMA = "zeus.interchange/1"
+
+_REQUIRED = (
+    "schema", "design", "module", "ports", "extra_inputs",
+    "synthetic_clock", "nets", "regs", "stats", "unsupported", "caveats",
+)
+
+_MODES = ("IN", "OUT", "INOUT")
+_KINDS = ("boolean", "multiplex")
+
+
+def validate_manifest(m: dict) -> None:
+    """Raise ``ValueError`` unless *m* is a well-formed
+    ``zeus.interchange/1`` manifest."""
+    if not isinstance(m, dict):
+        raise ValueError(f"manifest must be a dict, got {type(m).__name__}")
+    if m.get("schema") != SCHEMA:
+        raise ValueError(f"manifest schema is {m.get('schema')!r}, "
+                         f"expected {SCHEMA!r}")
+    missing = [k for k in _REQUIRED if k not in m]
+    if missing:
+        raise ValueError(f"manifest is missing keys: {missing}")
+    names = set()
+    for disp, entry in m["nets"].items():
+        if entry.get("kind") not in _KINDS:
+            raise ValueError(
+                f"net {disp!r} has bad kind {entry.get('kind')!r}")
+        vname = entry.get("verilog")
+        if not isinstance(vname, str) or not vname:
+            raise ValueError(f"net {disp!r} has no verilog name")
+        if vname in names:
+            raise ValueError(
+                f"name mangling is not injective: {vname!r} appears twice")
+        names.add(vname)
+    for p in m["ports"]:
+        if p.get("mode") not in _MODES:
+            raise ValueError(f"port {p.get('name')!r} has bad mode "
+                             f"{p.get('mode')!r}")
+        if not isinstance(p.get("bits"), list) or not p["bits"]:
+            raise ValueError(f"port {p.get('name')!r} has no bits")
+        for bit in p["bits"]:
+            if bit not in names:
+                raise ValueError(
+                    f"port {p['name']!r} bit {bit!r} is not a mapped net")
+    for key, inst in m["regs"].items():
+        if not isinstance(inst, str) or not inst:
+            raise ValueError(f"register {key!r} has no instance name")
+    if not isinstance(m["unsupported"], list):
+        raise ValueError("unsupported must be a list")
+
+
+def name_map(m: dict) -> dict[str, str]:
+    """Zeus display name -> Verilog identifier."""
+    return {disp: entry["verilog"] for disp, entry in m["nets"].items()}
+
+
+def reverse_name_map(m: dict) -> dict[str, str]:
+    """Verilog identifier -> Zeus display name (injectivity makes this
+    well defined; :func:`validate_manifest` checks it)."""
+    return {entry["verilog"]: disp for disp, entry in m["nets"].items()}

@@ -1,0 +1,123 @@
+"""Deterministic Zeus -> Verilog name mangling.
+
+Zeus display names are hierarchical paths (``bj.state[1].out``,
+``$nummux312``, ``m.$mux41.d[2]``) that are not legal Verilog
+identifiers.  The :class:`NameMangler` maps every name to a simple
+Verilog identifier deterministically and *injectively*:
+
+* hierarchy separators ``.`` and index brackets ``[k]`` become ``_``;
+* any other character outside ``[A-Za-z0-9_]`` (including the ``$`` of
+  elaborator-synthesized nets) becomes ``_``;
+* a result that is empty, starts with a digit, or collides with a
+  Verilog keyword gets an ``n_`` prefix;
+* collisions after the above (``m.d[1]`` vs ``m.d_1``) are resolved by
+  an ``__2``, ``__3``, ... suffix in first-come order.
+
+Injectivity holds by construction -- every assigned identifier is
+recorded in one ``taken`` table covering wires, ports, and instance
+names alike -- and is property-tested over the whole stdlib corpus in
+``tests/test_interchange.py``.  The full map is published in the
+``zeus.interchange/1`` manifest so observations can be translated both
+ways.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: IEEE 1364-2001 reserved words (all lowercase; Verilog keywords are
+#: case-sensitive, so ``Input`` would be a legal identifier -- we still
+#: avoid emitting anything that differs from a keyword only by case).
+VERILOG_KEYWORDS = frozenset("""
+always and assign automatic begin buf bufif0 bufif1 case casex casez
+cell cmos config deassign default defparam design disable edge else
+end endcase endconfig endfunction endgenerate endmodule endprimitive
+endspecify endtable endtask event for force forever fork function
+generate genvar highz0 highz1 if ifnone incdir include initial inout
+input instance integer join large liblist library localparam
+macromodule medium module nand negedge nmos nor noshowcancelled not
+notif0 notif1 or output parameter pmos posedge primitive pull0 pull1
+pulldown pullup pulsestyle_ondetect pulsestyle_onevent rcmos real
+realtime reg release repeat rnmos rpmos rtran rtranif0 rtranif1
+scalared showcancelled signed small specify specparam strong0 strong1
+supply0 supply1 table task time tran tranif0 tranif1 tri tri0 tri1
+triand trior trireg unsigned use vectored wait wand weak0 weak1 while
+wire wor xnor xor
+""".split())
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+_BAD_CHAR_RE = re.compile(r"[^A-Za-z0-9_]")
+
+
+def mangle_base(name: str) -> str:
+    """The keyword-safe base identifier for *name*, before collision
+    resolution (the pure, injectivity-free half of the mangling)."""
+    out = name.replace("[", "_").replace("]", "")
+    out = _BAD_CHAR_RE.sub("_", out)
+    if not out or out[0].isdigit():
+        out = "n_" + out
+    if out.lower() in VERILOG_KEYWORDS:
+        out = "n_" + out
+    return out
+
+
+def is_verilog_identifier(name: str) -> bool:
+    """True when *name* is a legal simple Verilog identifier that is
+    not a reserved word."""
+    return bool(_IDENT_RE.match(name)) and name.lower() not in VERILOG_KEYWORDS
+
+
+class NameMangler:
+    """Allocates unique Verilog identifiers for Zeus names.
+
+    One instance covers one emitted module: wires, ports, and instance
+    names share Verilog's per-module name space, so they all go through
+    the same ``taken`` table.
+    """
+
+    def __init__(self) -> None:
+        self._taken: set[str] = set()
+        self._map: dict[str, str] = {}
+
+    def reserve(self, zeus_name: str, verilog_name: str) -> str:
+        """Pin *zeus_name* to an exact identifier (``RSET``/``CLK`` must
+        survive verbatim so re-imported designs keep the special-input
+        default rule, which keys on the display name)."""
+        if verilog_name in self._taken:
+            raise ValueError(f"identifier {verilog_name!r} already taken")
+        if not is_verilog_identifier(verilog_name):
+            raise ValueError(f"{verilog_name!r} is not a legal identifier")
+        self._taken.add(verilog_name)
+        self._map[zeus_name] = verilog_name
+        return verilog_name
+
+    def mangle(self, zeus_name: str, base: str | None = None) -> str:
+        """The (stable) identifier for *zeus_name*; allocates on first
+        use, returns the same answer afterwards.  *base* overrides the
+        text the identifier is derived from (the emitter passes the
+        design-prefix-stripped path while keying the map on the full
+        display name the simulator reports)."""
+        if zeus_name in self._map:
+            return self._map[zeus_name]
+        out = self._unique(mangle_base(base if base is not None else zeus_name))
+        self._map[zeus_name] = out
+        return out
+
+    def fresh(self, base: str) -> str:
+        """A unique identifier from *base* that is not bound to any
+        Zeus name (gate / register instance names)."""
+        return self._unique(mangle_base(base))
+
+    def _unique(self, base: str) -> str:
+        out = base
+        k = 1
+        while out in self._taken:
+            k += 1
+            out = f"{base}__{k}"
+        self._taken.add(out)
+        return out
+
+    @property
+    def mapping(self) -> dict[str, str]:
+        """Zeus display name -> Verilog identifier (a copy)."""
+        return dict(self._map)

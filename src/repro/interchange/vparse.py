@@ -1,0 +1,466 @@
+"""Parser for the structural-Verilog interchange subset.
+
+The subset is what gate-level netlists -- including the ISCAS85/89
+benchmark translations and everything :mod:`repro.interchange.emit`
+produces -- are written in:
+
+* ``module NAME (ports); ... endmodule`` (non-ANSI or ANSI headers);
+* ``input`` / ``output`` / ``inout`` declarations (scalar only);
+* ``wire`` / ``tri`` net declarations (scalar only);
+* ``assign NAME = NAME | 1'b{0|1|x|z};`` (simple aliases/constants);
+* gate primitives ``and or nand nor xor xnor not buf bufif0 bufif1``,
+  with or without instance names, literals allowed as inputs;
+* module instances, positional or named (``.pin(net)``), including the
+  ``zeus_dff`` / ``zeus_random`` / ``dff`` intrinsics whose *bodies*
+  are skipped (they may contain behavioural code).
+
+Anything else -- ``always``/``initial`` blocks, vector ranges,
+parameters, delays, expressions -- raises :class:`InterchangeError`
+with a span into the source, so ``zeusc import-verilog --format json``
+reports the offending line under the standard ``zeus.error/1`` payload.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..core.values import Logic
+from ..lang.errors import InterchangeError
+from ..lang.source import SourceText, Span
+
+#: Module names whose definitions are intrinsic: their bodies are
+#: skipped and their instances mapped straight onto semantics-graph
+#: nodes by the reader.
+INTRINSIC_MODULES = ("zeus_dff", "zeus_random", "dff")
+
+#: Gate primitives of the subset.
+PRIMITIVES = (
+    "and", "or", "nand", "nor", "xor", "xnor", "not", "buf",
+    "bufif0", "bufif1",
+)
+
+#: Verilog keywords that unambiguously signal a construct outside the
+#: structural subset.
+_UNSUPPORTED_ITEMS = frozenset("""
+always initial reg integer real realtime time event parameter
+localparam defparam specify function task generate genvar case casex
+casez if for while repeat forever fork primitive table supply0 supply1
+trireg tri0 tri1 wand wor triand trior pullup pulldown nmos pmos cmos
+rnmos rpmos rcmos tran tranif0 tranif1 rtran rtranif0 rtranif1 notif0
+notif1 force release deassign wait disable attribute signed scalared
+vectored
+""".split())
+
+_DIRECTIONS = ("input", "output", "inout")
+_NET_TYPES = ("wire", "tri")
+
+_LIT_VALUES = {
+    "0": Logic.ZERO,
+    "1": Logic.ONE,
+    "x": Logic.UNDEF,
+    "z": Logic.NOINFL,
+}
+
+
+# -- tokens ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "id", "lit", "num", "punct", "eof"
+    value: object
+    span: Span
+
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<lcom>//[^\n]*)
+    | (?P<bcom>/\*.*?\*/)
+    | (?P<attr>\(\*.*?\*\))
+    | (?P<escid>\\[^\s]+)
+    | (?P<sized>\d+\s*'\s*[sS]?[bBoOdDhH][0-9a-fA-FxXzZ_?]+)
+    | (?P<id>[A-Za-z_$][A-Za-z0-9_$]*)
+    | (?P<num>\d+)
+    | (?P<punct>[(),;.=\[\]\#@{}*/+\-?:<>!&|^~%])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_SIZED_RE = re.compile(r"(\d+)\s*'\s*([sS]?)([bBoOdDhH])([0-9a-fA-FxXzZ_?]+)")
+
+
+def tokenize(source: SourceText) -> list[Token]:
+    text = source.text
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise InterchangeError(
+                f"unexpected character {text[pos]!r}",
+                Span(pos, pos + 1),
+            )
+        span = Span(m.start(), m.end())
+        if m.lastgroup in ("ws", "lcom", "bcom", "attr"):
+            pass
+        elif m.lastgroup == "escid":
+            tokens.append(Token("id", m.group()[1:], span))
+        elif m.lastgroup == "id":
+            tokens.append(Token("id", m.group(), span))
+        elif m.lastgroup == "sized":
+            tokens.append(Token("lit", _parse_sized(m.group(), span), span))
+        elif m.lastgroup == "num":
+            tokens.append(Token("num", m.group(), span))
+        else:
+            tokens.append(Token("punct", m.group(), span))
+        pos = m.end()
+    tokens.append(Token("eof", None, Span(len(text), len(text))))
+    return tokens
+
+
+def _parse_sized(text: str, span: Span) -> Logic:
+    m = _SIZED_RE.match(text)
+    width, _, base, digits = m.groups()
+    digits = digits.replace("_", "")
+    if width != "1" or base.lower() != "b" or len(digits) != 1 \
+            or digits.lower() not in _LIT_VALUES:
+        raise InterchangeError(
+            f"unsupported literal {text!r} (only 1-bit binary "
+            "1'b0/1'b1/1'bx/1'bz literals are supported)",
+            span,
+        )
+    return _LIT_VALUES[digits.lower()]
+
+
+# -- AST ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Term:
+    """One instance-port / assign operand: a net name, a literal, or an
+    explicitly unconnected ``.pin()``."""
+
+    kind: str  # "id", "lit", "empty"
+    value: object
+    span: Span
+
+
+@dataclass
+class VDecl:
+    kind: str  # input/output/inout/wire/tri
+    names: list[tuple[str, Span]]
+    span: Span
+
+
+@dataclass
+class VAssign:
+    dst: str
+    dst_span: Span
+    rhs: Term
+    span: Span
+
+
+@dataclass
+class VInstance:
+    mtype: str
+    name: str | None
+    positional: list[Term] | None
+    named: list[tuple[str, Term, Span]] | None
+    span: Span
+
+
+@dataclass
+class VModule:
+    name: str
+    header_ports: list[str]
+    decls: list[VDecl] = field(default_factory=list)
+    assigns: list[VAssign] = field(default_factory=list)
+    instances: list[VInstance] = field(default_factory=list)
+    #: declarations + instances + assigns in source order (the reader
+    #: wires drivers in file order to keep RANDOM rng draws aligned).
+    items: list = field(default_factory=list)
+    intrinsic: bool = False
+    span: Span = Span(0, 0)
+
+
+# -- parser ---------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, source: SourceText):
+        self.source = source
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def error(self, message: str, span: Span) -> InterchangeError:
+        return InterchangeError(message, span)
+
+    def expect_punct(self, ch: str) -> Token:
+        tok = self.next()
+        if tok.kind != "punct" or tok.value != ch:
+            raise self.error(
+                f"expected {ch!r}, got {self._show(tok)}", tok.span)
+        return tok
+
+    def expect_id(self, what: str = "an identifier") -> Token:
+        tok = self.next()
+        if tok.kind != "id":
+            raise self.error(
+                f"expected {what}, got {self._show(tok)}", tok.span)
+        return tok
+
+    def at_punct(self, ch: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "punct" and tok.value == ch
+
+    @staticmethod
+    def _show(tok: Token) -> str:
+        if tok.kind == "eof":
+            return "end of file"
+        return repr(tok.value)
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse(self) -> list[VModule]:
+        modules: list[VModule] = []
+        seen: dict[str, Span] = {}
+        while self.peek().kind != "eof":
+            tok = self.next()
+            if tok.kind != "id" or tok.value not in ("module", "macromodule"):
+                raise self.error(
+                    f"expected 'module', got {self._show(tok)}", tok.span)
+            mod = self.module(tok.span)
+            if mod.name in seen:
+                first = self.source.position(seen[mod.name].start)
+                raise self.error(
+                    f"duplicate module name {mod.name!r} "
+                    f"(first defined at line {first.line})",
+                    mod.span,
+                )
+            seen[mod.name] = mod.span
+            modules.append(mod)
+        if not modules:
+            raise self.error("no modules found", Span(0, 0))
+        return modules
+
+    def module(self, start: Span) -> VModule:
+        name_tok = self.expect_id("a module name")
+        mod = VModule(name=str(name_tok.value), header_ports=[],
+                      span=name_tok.span)
+        if mod.name in INTRINSIC_MODULES:
+            self._skip_to_endmodule(name_tok)
+            mod.intrinsic = True
+            return mod
+        if self.at_punct("("):
+            self.next()
+            self._header_ports(mod)
+        self.expect_punct(";")
+        while True:
+            tok = self.peek()
+            if tok.kind == "eof":
+                raise self.error(
+                    f"missing 'endmodule' for module {mod.name!r}",
+                    tok.span)
+            if tok.kind == "id" and tok.value == "endmodule":
+                self.next()
+                return mod
+            self.item(mod)
+
+    def _skip_to_endmodule(self, name_tok: Token) -> None:
+        while True:
+            tok = self.next()
+            if tok.kind == "eof":
+                raise self.error(
+                    f"missing 'endmodule' for module {name_tok.value!r}",
+                    tok.span)
+            if tok.kind == "id" and tok.value == "endmodule":
+                return
+
+    def _header_ports(self, mod: VModule) -> None:
+        """Port list: plain names, or ANSI ``input a, output b`` style
+        (recorded both as header ports and direction declarations)."""
+        if self.at_punct(")"):
+            self.next()
+            return
+        direction: str | None = None
+        while True:
+            tok = self.next()
+            if tok.kind == "id" and tok.value in _DIRECTIONS:
+                direction = str(tok.value)
+                tok = self.next()
+                if tok.kind == "id" and tok.value in _NET_TYPES:
+                    tok = self.next()
+            self._reject_range(tok)
+            if tok.kind != "id":
+                raise self.error(
+                    f"expected a port name, got {self._show(tok)}", tok.span)
+            name = str(tok.value)
+            mod.header_ports.append(name)
+            if direction is not None:
+                decl = VDecl(direction, [(name, tok.span)], tok.span)
+                mod.decls.append(decl)
+                mod.items.append(decl)
+            nxt = self.next()
+            if nxt.kind == "punct" and nxt.value == ")":
+                return
+            if not (nxt.kind == "punct" and nxt.value == ","):
+                raise self.error(
+                    f"expected ',' or ')' in the port list, got "
+                    f"{self._show(nxt)}", nxt.span)
+
+    def _reject_range(self, tok: Token) -> None:
+        if tok.kind == "punct" and tok.value == "[":
+            raise self.error(
+                "unsupported construct: vector range (the interchange "
+                "subset is scalar; flatten buses to one wire per bit)",
+                tok.span,
+            )
+
+    def item(self, mod: VModule) -> None:
+        tok = self.next()
+        if tok.kind != "id":
+            raise self.error(
+                f"expected a declaration or instance, got "
+                f"{self._show(tok)}", tok.span)
+        word = str(tok.value)
+        if word in _UNSUPPORTED_ITEMS:
+            raise self.error(
+                f"unsupported construct {word!r} (only structural "
+                "declarations, assigns and gate/module instances are "
+                "supported)",
+                tok.span,
+            )
+        if word in _DIRECTIONS or word in _NET_TYPES:
+            self.declaration(mod, word, tok.span)
+        elif word == "assign":
+            self.assignment(mod, tok.span)
+        else:
+            self.instances(mod, word, tok.span)
+
+    def declaration(self, mod: VModule, kind: str, start: Span) -> None:
+        if kind in _DIRECTIONS and self.peek().kind == "id" \
+                and self.peek().value in _NET_TYPES:
+            self.next()  # "inout tri x;" style
+        self._reject_range(self.peek())
+        names: list[tuple[str, Span]] = []
+        while True:
+            tok = self.expect_id("a net name")
+            self._reject_range(self.peek())
+            names.append((str(tok.value), tok.span))
+            nxt = self.next()
+            if nxt.kind == "punct" and nxt.value == ";":
+                break
+            if not (nxt.kind == "punct" and nxt.value == ","):
+                raise self.error(
+                    f"expected ',' or ';' in the declaration, got "
+                    f"{self._show(nxt)}", nxt.span)
+        decl = VDecl(kind, names, start)
+        mod.decls.append(decl)
+        mod.items.append(decl)
+
+    def assignment(self, mod: VModule, start: Span) -> None:
+        dst = self.expect_id("a net name")
+        self.expect_punct("=")
+        rhs = self.term()
+        tok = self.next()
+        if not (tok.kind == "punct" and tok.value == ";"):
+            raise self.error(
+                "unsupported construct: assign with an expression "
+                "right-hand side (only 'assign w = net;' and "
+                "'assign w = 1'bV;' are supported)",
+                tok.span,
+            )
+        va = VAssign(str(dst.value), dst.span, rhs, start)
+        mod.assigns.append(va)
+        mod.items.append(va)
+
+    def term(self) -> Term:
+        tok = self.next()
+        if tok.kind == "id":
+            return Term("id", str(tok.value), tok.span)
+        if tok.kind == "lit":
+            return Term("lit", tok.value, tok.span)
+        raise self.error(
+            f"expected a net name or 1-bit literal, got {self._show(tok)}",
+            tok.span,
+        )
+
+    def instances(self, mod: VModule, mtype: str, start: Span) -> None:
+        if self.at_punct("#"):
+            raise self.error(
+                "unsupported construct: delay/parameter override '#'",
+                self.peek().span,
+            )
+        while True:
+            name: str | None = None
+            tok = self.peek()
+            if tok.kind == "id":
+                name = str(self.next().value)
+            self.expect_punct("(")
+            inst = self._connections(mtype, name, start)
+            mod.instances.append(inst)
+            mod.items.append(inst)
+            nxt = self.next()
+            if nxt.kind == "punct" and nxt.value == ";":
+                return
+            if not (nxt.kind == "punct" and nxt.value == ","):
+                raise self.error(
+                    f"expected ',' or ';' after the instance, got "
+                    f"{self._show(nxt)}", nxt.span)
+
+    def _connections(self, mtype: str, name: str | None,
+                     start: Span) -> VInstance:
+        positional: list[Term] = []
+        named: list[tuple[str, Term, Span]] = []
+        if self.at_punct(")"):
+            self.next()
+        else:
+            while True:
+                if self.at_punct("."):
+                    dot = self.next()
+                    pin = self.expect_id("a port name")
+                    self.expect_punct("(")
+                    if self.at_punct(")"):
+                        term = Term("empty", None, pin.span)
+                    else:
+                        term = self.term()
+                    self.expect_punct(")")
+                    named.append((str(pin.value), term, dot.span))
+                else:
+                    positional.append(self.term())
+                nxt = self.next()
+                if nxt.kind == "punct" and nxt.value == ")":
+                    break
+                if not (nxt.kind == "punct" and nxt.value == ","):
+                    raise self.error(
+                        f"expected ',' or ')' in the connection list, "
+                        f"got {self._show(nxt)}", nxt.span)
+        if positional and named:
+            raise self.error(
+                f"instance {name or mtype!r} mixes positional and named "
+                "connections", start)
+        return VInstance(
+            mtype=mtype,
+            name=name,
+            positional=positional if not named else None,
+            named=named if named else None,
+            span=start,
+        )
+
+
+def parse_verilog(source: SourceText) -> list[VModule]:
+    """Parse *source* into :class:`VModule` records; raises
+    :class:`InterchangeError` (with a span) on anything outside the
+    structural subset."""
+    return _Parser(source).parse()

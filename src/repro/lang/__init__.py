@@ -6,6 +6,7 @@ from .errors import (
     Diagnostic,
     DiagnosticSink,
     ElaborationError,
+    InterchangeError,
     LayoutError,
     LexError,
     ParseError,
@@ -26,6 +27,7 @@ __all__ = [
     "Diagnostic",
     "DiagnosticSink",
     "ElaborationError",
+    "InterchangeError",
     "KEYWORDS",
     "LayoutError",
     "LexError",

@@ -87,6 +87,12 @@ class LayoutError(ZeusError):
     virtual signal, unknown direction of separation, etc."""
 
 
+class InterchangeError(ZeusError):
+    """Verilog interchange error: an unsupported construct in an
+    imported structural netlist, a dangling instance port, or a design
+    shape the emitter cannot encode (see :mod:`repro.interchange`)."""
+
+
 #: ZeusError subclass -> the compiler phase it belongs to, for
 #: structured error payloads.
 _ERROR_PHASES = {
@@ -97,6 +103,7 @@ _ERROR_PHASES = {
     "CheckError": "check",
     "SimulationError": "simulate",
     "LayoutError": "layout",
+    "InterchangeError": "interchange",
 }
 
 

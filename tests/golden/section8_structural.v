@@ -1,0 +1,44 @@
+// Structural Verilog emitted by zeus (zeus.interchange/1)
+// design: fig
+module fig_mod (a, b, c, x, y, rin, rout, out, CLK);
+  input a;
+  input b;
+  input c;
+  input x;
+  input y;
+  input rin;
+  output rout;
+  inout out;
+  input CLK;
+
+  wire a;
+  wire b;
+  wire c;
+  wire x;
+  wire y;
+  wire rin;
+  wire rout;
+  tri out;
+  wire _and0;
+  wire _not1;
+  wire _not2;
+  wire r_in;
+  wire r_out;
+
+  and (_and0, a, b);
+  not (_not1, x);
+  not (_not2, y);
+  bufif1 (out, _and0, x);
+  bufif1 (out, c, y);
+  buf (r_in, rin);
+  buf (rout, r_out);
+  zeus_dff r (.q(r_out), .d(r_in), .ck(CLK));
+endmodule
+
+module zeus_dff (q, d, ck);
+  output reg q;
+  input d, ck;
+  initial q = 1'bx;
+  always @(posedge ck)
+    if (d !== 1'bz) q <= d;
+endmodule

@@ -10,7 +10,10 @@ slice here checks
 * the extended generator's full repertoire -- multiplex nets with
   guarded (and deliberately conflictable) drivers, REG pipelines with
   guarded loads, FOR/WHEN meta-programmed replication -- differentially
-  across dataflow (the oracle), levelized and batched, lane by lane.
+  across dataflow (the oracle), levelized and batched, lane by lane,
+  plus the fifth leg: the design round-tripped through the structural
+  Verilog emitter and reader (:mod:`repro.analysis.roundtrip`)
+  co-simulated against the original.
 
 Long-budget cases are marked ``slow`` and skipped unless the
 ``ZEUS_FUZZ_LONG`` environment variable is set (the nightly CI job sets
@@ -164,8 +167,8 @@ class TestExtendedDifferential:
     @pytest.mark.parametrize("seed", range(40))
     def test_full_repertoire(self, seed):
         """Mux + REG + meta-programmed programs: dataflow (oracle) vs
-        levelized vs batched, per-cycle outputs, final registers and
-        per-lane violations."""
+        levelized vs batched vs the Verilog round-trip, per-cycle
+        outputs, final registers and per-lane violations."""
         prog = generate_program(seed)
         res = differential_check(
             prog.text, cycles=3, n_vectors=4, seed=seed
